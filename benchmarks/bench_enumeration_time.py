@@ -1,0 +1,77 @@
+"""Enumeration overhead (Section 7.3, "Enumeration Time").
+
+Paper: "plan enumeration took less than 1654 ms" for every evaluation
+query with the naive implementation, and "the overhead of performing the
+static code analysis is virtually zero."
+
+This benchmark times (a) pure plan enumeration per workload and (b) the
+full SCA pass over all UDFs of a workload, asserting both stay within the
+paper's envelope.
+"""
+
+import time
+
+from conftest import write_result
+
+from repro.bench import render_table
+from repro.core import AnnotationMode, body
+from repro.core.operators import UdfOperator
+from repro.core.plan import iter_nodes
+from repro.optimizer import PlanContext, enumerate_flows
+from repro.sca import analyze_udf
+
+
+def time_enumeration(workload):
+    ctx = PlanContext(workload.catalog, AnnotationMode.SCA)
+    start = time.perf_counter()
+    flows = enumerate_flows(body(workload.plan), ctx)
+    elapsed = time.perf_counter() - start
+    return len(flows), elapsed
+
+
+def time_sca(workload):
+    udf_ops = [
+        n.op for n in iter_nodes(workload.plan) if isinstance(n.op, UdfOperator)
+    ]
+    start = time.perf_counter()
+    for op in udf_ops:
+        analyze_udf(op.udf.fn, op.udf.param_kinds)
+    return len(udf_ops), time.perf_counter() - start
+
+
+def run_enumeration_timing(workloads):
+    rows = []
+    for w in workloads:
+        plans, enum_s = time_enumeration(w)
+        udfs, sca_s = time_sca(w)
+        rows.append(
+            (w.name, plans, f"{enum_s * 1000:.1f} ms", udfs, f"{sca_s * 1000:.1f} ms")
+        )
+    return rows
+
+
+def test_enumeration_time(
+    benchmark,
+    q7_workload,
+    q15_workload,
+    clickstream_workload,
+    textmining_workload,
+    results_dir,
+):
+    workloads = [q7_workload, q15_workload, clickstream_workload, textmining_workload]
+    rows = benchmark.pedantic(
+        run_enumeration_timing, args=(workloads,), rounds=1, iterations=1
+    )
+    table = render_table(
+        rows, ("PACT task", "plans", "enumeration", "UDFs", "SCA pass")
+    )
+    write_result(
+        results_dir,
+        "enumeration_time.txt",
+        "Enumeration and SCA overhead (paper: enumeration < 1654 ms, SCA ~ 0)\n"
+        + table,
+    )
+
+    for _, _, enum_label, _, sca_label in rows:
+        assert float(enum_label.split()[0]) < 1654.0  # the paper's bound
+        assert float(sca_label.split()[0]) < 500.0

@@ -1,0 +1,38 @@
+"""Figure 6: normalized cost estimates and runtimes for 10 rank-picked
+plans of the biomedical text-mining job.
+
+Paper: 24 enumerated plans; best ~16:53 min, worst ~168:41 min (~10x);
+the cheap plans form a low plateau, the bad ones an order of magnitude up.
+"""
+
+from conftest import write_result
+
+from repro.bench import run_experiment, render_figure
+
+PAPER_NOTE = "paper: 24 plans; best 16:53 min, worst 168:41 min (~10x)"
+
+
+def run_fig6(workload):
+    return run_experiment(workload, picks=10)
+
+
+def test_fig6_textmining(benchmark, textmining_workload, results_dir):
+    outcome = benchmark.pedantic(
+        run_fig6, args=(textmining_workload,), rounds=1, iterations=1
+    )
+    write_result(
+        results_dir,
+        "fig6_textmining.txt",
+        render_figure(outcome, "Figure 6 — text mining plan quality", PAPER_NOTE),
+    )
+
+    assert outcome.plan_count == 24  # exactly the paper's count
+    runtimes = [p.runtime_seconds for p in outcome.executed]
+    assert runtimes[0] <= min(runtimes) * 1.2
+    # Order-of-magnitude class spread (paper 10x; simulated 6-10x).
+    assert outcome.runtime_spread >= 5.0
+    # Monotone-ish: the top picks are all much cheaper than the bottom picks.
+    assert max(runtimes[:3]) < min(runtimes[-3:])
+    # Minutes scale comparable to the paper.
+    assert 900 < runtimes[0] < 2100         # paper: 1013 s
+    assert 8000 < runtimes[-1] < 13000      # paper: 10121 s

@@ -1,0 +1,92 @@
+"""Figure 3 / the Q15 discussion of Section 7.3: the plan space of TPC-H
+query 15 and the physical strategies the reordering unlocks.
+
+Paper narrative:
+  * With Reduce below Match (Figure 3a) the optimizer partitions the
+    Reduce input, and the Match *reuses* the partitioning property —
+    the aggregated side is forwarded, the supplier side shipped.
+  * With Match below Reduce (Figure 3b) the lineitem side is large, so
+    the optimizer instead *broadcasts* the small supplier relation and
+    forwards lineitem.
+
+Both decisions must fall out of the cost-based physical optimizer here.
+(The paper enumerates 4 orders; our pairwise conditions derive 3 — see
+EXPERIMENTS.md.)
+"""
+
+from conftest import write_result
+
+from repro.bench import run_experiment
+from repro.core import AnnotationMode
+from repro.core.plan import linearize
+from repro.optimizer import ShipKind
+
+
+def run_q15(workload):
+    return run_experiment(workload, execute_all=True, mode=AnnotationMode.MANUAL)
+
+
+def _find_op(phys, name):
+    if phys.name == name:
+        return phys
+    for child in phys.children:
+        found = _find_op(child, name)
+        if found is not None:
+            return found
+    return None
+
+
+def test_q15_plan_space_and_strategies(benchmark, q15_workload, results_dir):
+    outcome = benchmark.pedantic(run_q15, args=(q15_workload,), rounds=1, iterations=1)
+    result = outcome.optimization
+
+    lines = ["Q15 plan space (paper Figure 3 discussion)", ""]
+    for plan in result.ranked:
+        execution = next(e for e in outcome.executed if e.rank == plan.rank)
+        lines.append(
+            f"rank {plan.rank}: {' -> '.join(linearize(plan.body))} "
+            f"(cost ~{plan.cost:.1f}s, simulated {execution.runtime_label})"
+        )
+        lines.append(plan.physical.describe(indent=1))
+        lines.append("")
+    write_result(results_dir, "q15_planspace.txt", "\n".join(lines))
+
+    assert result.plan_count == 3  # paper: 4; see EXPERIMENTS.md
+
+    # Find the three alternatives by operator order.
+    by_order = {linearize(p.body): p for p in result.ranked}
+    reduce_first = by_order[
+        ("sigma_shipdate_q15", "gamma_supplier_revenue", "join_s_rev")
+    ]
+    join_mid = by_order[
+        ("sigma_shipdate_q15", "join_s_rev", "gamma_supplier_revenue")
+    ]
+    join_early = by_order[
+        ("join_s_rev", "sigma_shipdate_q15", "gamma_supplier_revenue")
+    ]
+
+    # (a) Reduce below Match: the Match forwards the aggregated side,
+    # reusing the Reduce's partitioning (paper: "the partitioning property
+    # remains and can be reused").
+    match_a = _find_op(reduce_first.physical, "join_s_rev")
+    assert ShipKind.FORWARD in {s.kind for s in match_a.ships}
+    reduce_a = _find_op(reduce_first.physical, "gamma_supplier_revenue")
+    assert reduce_a.ships[0].kind is ShipKind.PARTITION
+
+    # (b) With the filtered join below the Reduce, the interesting-property
+    # machinery chooses partition-partition for the Match so the Reduce
+    # above can forward — property-aware planning across the swap.
+    match_mid = _find_op(join_mid.physical, "join_s_rev")
+    assert {s.kind for s in match_mid.ships} == {ShipKind.PARTITION}
+    reduce_mid = _find_op(join_mid.physical, "gamma_supplier_revenue")
+    assert reduce_mid.ships[0].kind is ShipKind.FORWARD
+
+    # (c) With the *unfiltered* lineitem feeding the Match, shipping it is
+    # expensive: the optimizer broadcasts the much smaller supplier input
+    # instead (the paper's Figure 3b strategy).
+    match_b = _find_op(join_early.physical, "join_s_rev")
+    assert match_b.ships[0].kind is ShipKind.BROADCAST
+    assert match_b.build_side == 0  # the supplier side builds the table
+
+    # The aggregation-early plans beat the join-early plan on this data.
+    assert reduce_first.cost < join_early.cost

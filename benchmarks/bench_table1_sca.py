@@ -1,0 +1,94 @@
+"""Table 1: number of enumerated reordered alternatives with manually
+annotated properties vs. properties derived by static code analysis.
+
+Paper:                     ours:
+  Clickstream  4 -> 3 (75%)  Clickstream  9 -> 5 (56%)
+  TPC-H Q7  2518 -> 2518     TPC-H Q7   442 -> 442 (100%)
+  TPC-H Q15    4 -> 4        TPC-H Q15    3 -> 3   (100%)
+  Text mining 24 -> 24       Text mining 24 -> 24  (100%)
+
+The qualitative result is identical: SCA recovers every reordering except
+on the clickstream task, whose "filter buy sessions" UDF defeats the
+analyzer (its record group escapes into a helper call), forcing the safe
+conservative fallback and losing exactly the reorderings across that
+operator.
+"""
+
+from conftest import write_result
+
+from repro.bench import render_table
+from repro.core import AnnotationMode, body
+from repro.optimizer import PlanContext, enumerate_flows
+
+PAPER = {
+    "clickstream": (4, 3),
+    "tpch_q7": (2518, 2518),
+    "tpch_q15": (4, 4),
+    "textmining": (24, 24),
+}
+
+EXPECTED_OURS = {
+    "clickstream": (9, 5),
+    "tpch_q7": (442, 442),
+    "tpch_q15": (3, 3),
+    "textmining": (24, 24),
+}
+
+
+def count_orders(workload, mode):
+    ctx = PlanContext(workload.catalog, mode)
+    return len(enumerate_flows(body(workload.plan), ctx))
+
+
+def run_table1(workloads):
+    rows = []
+    for w in workloads:
+        manual = count_orders(w, AnnotationMode.MANUAL)
+        sca = count_orders(w, AnnotationMode.SCA)
+        pm, ps = PAPER[w.name]
+        rows.append(
+            (
+                w.name,
+                manual,
+                f"{sca} ({100 * sca // manual}%)",
+                pm,
+                f"{ps} ({100 * ps // pm}%)",
+            )
+        )
+    return rows
+
+
+def test_table1_sca_vs_manual(
+    benchmark,
+    clickstream_workload,
+    q7_workload,
+    q15_workload,
+    textmining_workload,
+    results_dir,
+):
+    workloads = [
+        clickstream_workload,
+        q7_workload,
+        q15_workload,
+        textmining_workload,
+    ]
+    rows = benchmark.pedantic(run_table1, args=(workloads,), rounds=1, iterations=1)
+    table = render_table(
+        rows,
+        ("PACT task", "orders (manual)", "orders (SCA)", "paper manual", "paper SCA"),
+    )
+    write_result(
+        results_dir,
+        "table1_sca.txt",
+        "Table 1 — manually annotated vs SCA-derived read/write sets\n" + table,
+    )
+
+    by_name = {r[0]: r for r in rows}
+    for name, (manual, sca) in EXPECTED_OURS.items():
+        assert by_name[name][1] == manual, name
+        assert by_name[name][2].startswith(str(sca)), name
+    # Qualitative Table 1 claim: SCA reaches 100% everywhere except the
+    # clickstream task with its unanalyzable UDF.
+    assert by_name["clickstream"][1] > int(by_name["clickstream"][2].split()[0])
+    for name in ("tpch_q7", "tpch_q15", "textmining"):
+        assert by_name[name][1] == int(by_name[name][2].split()[0])

@@ -1,0 +1,48 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every benchmark regenerates one table or figure of the paper's Section 7,
+writes the rendered result to ``benchmarks/results/``, and asserts the
+qualitative claims (who wins, by roughly what factor).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.workloads import build_clickstream, build_q7, build_q15, build_textmining
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / name).write_text(text + "\n")
+    print()
+    print(text)
+
+
+@pytest.fixture(scope="session")
+def q7_workload():
+    return build_q7()
+
+
+@pytest.fixture(scope="session")
+def q15_workload():
+    return build_q15()
+
+
+@pytest.fixture(scope="session")
+def clickstream_workload():
+    return build_clickstream()
+
+
+@pytest.fixture(scope="session")
+def textmining_workload():
+    return build_textmining()

@@ -1,0 +1,104 @@
+"""Quickstart: the paper's Section 3 example, end to end.
+
+Three Map operators over records <A, B>:
+
+  f1 replaces B with |B|        f2 keeps records with A >= 0
+  f3 replaces A with A + B
+
+The static analyzer discovers that f1 and f2 touch disjoint attributes
+(they reorder), while f3 conflicts with both.  We enumerate the plan
+space, execute every alternative, and confirm all produce the same result.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AnnotationMode,
+    Catalog,
+    FieldMap,
+    MapOp,
+    PlanContext,
+    Source,
+    SourceStats,
+    attrs,
+    chain,
+    datasets_equal,
+    enumerate_flows,
+    evaluate,
+    map_udf,
+    render_tree,
+)
+from repro.core.plan import linearize
+
+
+# --- the three UDFs, written against the record API -------------------------
+
+
+def f1_abs_b(rec, out):
+    b = rec.get_field(1)
+    r = rec.copy()
+    if b < 0:
+        r.set_field(1, -b)
+    out.emit(r)
+
+
+def f2_keep_positive_a(rec, out):
+    if rec.get_field(0) >= 0:
+        out.emit(rec.copy())
+
+
+def f3_a_plus_b(rec, out):
+    r = rec.copy()
+    r.set_field(0, rec.get_field(0) + rec.get_field(1))
+    out.emit(r)
+
+
+def main() -> None:
+    a, b = attrs("I.A", "I.B")
+    source = Source("I", (a, b))
+    fmap = FieldMap((a, b))
+    m1 = MapOp("f1", map_udf(f1_abs_b), fmap)
+    m2 = MapOp("f2", map_udf(f2_keep_positive_a), fmap)
+    m3 = MapOp("f3", map_udf(f3_a_plus_b), fmap)
+    flow = chain(source, m1, m2, m3)
+
+    print("Implemented data flow:")
+    print(render_tree(flow))
+
+    # 1. Open the black boxes: derive read/write sets from the bytecode.
+    ctx = PlanContext(_catalog(), AnnotationMode.SCA)
+    print("\nStatic code analysis (Section 5):")
+    for op in (m1, m2, m3):
+        props = ctx.props(op)
+        print(
+            f"  {op.name}: reads={sorted(x.name for x in props.reads)} "
+            f"writes={sorted(x.name for x in props.writes)} "
+            f"emits per call: [{props.emit_bounds.lo}, "
+            f"{props.emit_bounds.hi if props.emit_bounds.hi is not None else 'inf'}]"
+        )
+
+    # 2. Enumerate all valid reordered flows (Section 6).
+    alternatives = enumerate_flows(flow, ctx)
+    print(f"\nEnumerated {len(alternatives)} valid operator orders:")
+    for alt in alternatives:
+        print("  ", " -> ".join(linearize(alt)))
+
+    # 3. Execute every alternative: identical results, different costs.
+    data = {"I": [{a: 2, b: -3}, {a: -2, b: -3}, {a: 5, b: 1}]}
+    baseline = evaluate(flow, data)
+    print("\nOutput of the implemented flow:")
+    for row in baseline:
+        print(f"   A={row[a]}, B={row[b]}")
+    for alt in alternatives:
+        assert datasets_equal(evaluate(alt, data), baseline)
+    print("\nAll alternatives produce the same result — reordering is safe.")
+
+
+def _catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.add_source("I", SourceStats(row_count=3))
+    return catalog
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Biomedical text mining (Section 7.2): ordering expensive NLP annotators.
+
+A pipeline of Map operators — tokenizer, POS tagger, four entity
+annotators, relation extractor — where every annotator also filters.  The
+24 valid orders differ by almost an order of magnitude in runtime; the
+optimizer finds the cheap one from black-box properties alone.
+
+Run:  python examples/text_mining.py
+"""
+
+from repro import AnnotationMode
+from repro.bench import render_figure, run_experiment
+from repro.core.plan import linearize
+from repro.datagen import CorpusScale
+from repro.workloads import build_textmining
+
+
+def main() -> None:
+    workload = build_textmining(CorpusScale(documents=1200))
+    print("Task: find gene~drug relations in abstracts")
+    print("Annotator costs/selectivities (hints):")
+    for name, hint in workload.hints.items():
+        sel = f"{hint.selectivity:.2f}" if hint.selectivity is not None else "  - "
+        print(f"  {name:<18} cpu/call={hint.cpu_per_call:>6.1f}  selectivity={sel}")
+
+    outcome = run_experiment(workload, picks=8, mode=AnnotationMode.SCA)
+    print()
+    print(
+        render_figure(
+            outcome,
+            "Text mining: plan quality across the 24 enumerated orders",
+            "(paper Figure 6: best 16:53, worst 168:41, ~10x)",
+        )
+    )
+
+    best_order = linearize(outcome.optimization.ranked[0].body)
+    worst_order = linearize(outcome.optimization.ranked[-1].body)
+    print("\nbest order :", " -> ".join(best_order))
+    print("worst order:", " -> ".join(worst_order))
+    print(
+        "\nThe optimizer runs cheap, selective annotators first and delays\n"
+        "the expensive gene NER until most documents are filtered out —\n"
+        "derived purely from emit bounds and read/write sets, with no\n"
+        "knowledge of what the annotators compute."
+    )
+
+
+if __name__ == "__main__":
+    main()

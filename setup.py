@@ -1,0 +1,19 @@
+"""Setup script (classic layout: the environment has no `wheel` package,
+so PEP 517 editable builds are unavailable offline)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Opening the Black Boxes in Data Flow Optimization' "
+        "(Hueske et al., PVLDB 2012): a UDF-reordering data flow optimizer "
+        "with static code analysis, plan enumeration, cost-based physical "
+        "optimization, and a simulated parallel execution engine."
+    ),
+    license="Apache-2.0",
+    python_requires=">=3.11",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -1,0 +1,103 @@
+"""Experiment harness implementing the paper's Section 7.3 protocol.
+
+For a workload: enumerate all alternatives, rank them by estimated cost,
+pick N plans at regular rank intervals, execute each on the simulated
+engine, and report cost estimates and runtimes normalized by the rank-1
+plan — exactly the procedure behind Figures 5, 6, and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.plan import signature
+from ..core.udf import AnnotationMode
+from ..engine.executor import Engine, ExecutionResult
+from ..optimizer.cost import CostParams
+from ..optimizer.optimizer import OptimizationResult, Optimizer, RankedPlan
+from ..workloads.base import Workload
+
+
+@dataclass(slots=True)
+class ExecutedPlan:
+    rank: int
+    estimated_cost: float
+    runtime_seconds: float
+    runtime_label: str
+    is_original: bool
+    result: ExecutionResult
+
+
+@dataclass(slots=True)
+class ExperimentOutcome:
+    workload: str
+    plan_count: int
+    enumeration_seconds: float
+    executed: list[ExecutedPlan] = field(default_factory=list)
+    optimization: OptimizationResult | None = None
+
+    @property
+    def norm_costs(self) -> list[float]:
+        base = self.executed[0].estimated_cost
+        return [p.estimated_cost / base for p in self.executed]
+
+    @property
+    def norm_runtimes(self) -> list[float]:
+        base = self.executed[0].runtime_seconds
+        return [p.runtime_seconds / base for p in self.executed]
+
+    @property
+    def runtime_spread(self) -> float:
+        times = [p.runtime_seconds for p in self.executed]
+        return max(times) / min(times)
+
+    def original_rank(self) -> int | None:
+        for p in self.executed:
+            if p.is_original:
+                return p.rank
+        return None
+
+
+def run_experiment(
+    workload: Workload,
+    picks: int = 10,
+    mode: AnnotationMode = AnnotationMode.SCA,
+    params: CostParams | None = None,
+    execute_all: bool = False,
+) -> ExperimentOutcome:
+    """Optimize a workload, execute rank-picked plans, collect the outcome."""
+    params = params or workload.params
+    optimizer = Optimizer(workload.catalog, workload.hints, mode, params)
+    result = optimizer.optimize(workload.plan)
+    engine = Engine(params, workload.true_costs)
+
+    outcome = ExperimentOutcome(
+        workload=workload.name,
+        plan_count=result.plan_count,
+        enumeration_seconds=result.enumeration_seconds,
+        optimization=result,
+    )
+    original_sig = signature(result.original_body)
+    chosen = result.ranked if execute_all else result.picks(picks)
+    for plan in chosen:
+        execution = engine.execute(plan.physical, workload.data)
+        outcome.executed.append(
+            ExecutedPlan(
+                rank=plan.rank,
+                estimated_cost=plan.cost,
+                runtime_seconds=execution.seconds,
+                runtime_label=execution.report.minutes_label(),
+                is_original=signature(plan.body) == original_sig,
+                result=execution,
+            )
+        )
+    return outcome
+
+
+def execute_plan(
+    workload: Workload,
+    plan: RankedPlan,
+    params: CostParams | None = None,
+) -> ExecutionResult:
+    engine = Engine(params or workload.params, workload.true_costs)
+    return engine.execute(plan.physical, workload.data)

@@ -1,0 +1,56 @@
+"""Text rendering of experiment outcomes (paper-style figures as ASCII)."""
+
+from __future__ import annotations
+
+from .harness import ExperimentOutcome
+
+
+def render_figure(
+    outcome: ExperimentOutcome,
+    title: str,
+    paper_note: str = "",
+    width: int = 46,
+) -> str:
+    """Render normalized cost estimates and runtimes as paired bars,
+    mirroring the layout of Figures 5-7."""
+    lines = [title, "=" * len(title)]
+    if paper_note:
+        lines.append(paper_note)
+    lines.append(
+        f"plans enumerated: {outcome.plan_count}   "
+        f"enumeration time: {outcome.enumeration_seconds * 1000:.0f} ms"
+    )
+    lines.append("")
+    costs = outcome.norm_costs
+    runtimes = outcome.norm_runtimes
+    peak = max(max(costs), max(runtimes))
+    header = f"{'rank':>6} | {'norm.cost':>9} {'norm.time':>9} | {'runtime':>10} |"
+    lines.append(header)
+    lines.append("-" * (len(header) + width))
+    for i, plan in enumerate(outcome.executed):
+        cost_bar = "#" * max(1, round(costs[i] / peak * width))
+        time_bar = "*" * max(1, round(runtimes[i] / peak * width))
+        marker = " <- implemented flow" if plan.is_original else ""
+        lines.append(
+            f"{plan.rank:>6} | {costs[i]:>9.2f} {runtimes[i]:>9.2f} | "
+            f"{plan.runtime_label:>10} | {cost_bar}"
+        )
+        lines.append(f"{'':>6} | {'':>9} {'':>9} | {'':>10} | {time_bar}{marker}")
+    lines.append("")
+    lines.append(
+        f"runtime spread (worst/best executed): {outcome.runtime_spread:.1f}x"
+    )
+    lines.append("legend: '#' normalized cost estimate, '*' normalized runtime")
+    return "\n".join(lines)
+
+
+def render_table(rows: list[tuple], headers: tuple[str, ...]) -> str:
+    widths = [len(h) for h in headers]
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    fmt = "  ".join(f"{{:<{w}}}" for w in widths)
+    lines = [fmt.format(*headers), fmt.format(*("-" * w for w in widths))]
+    lines.extend(fmt.format(*row) for row in str_rows)
+    return "\n".join(lines)

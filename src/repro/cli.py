@@ -1,0 +1,123 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro analyze tpch_q7
+    python -m repro enumerate clickstream --mode manual
+    python -m repro experiment textmining --picks 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .bench import render_figure, render_table, run_experiment
+from .core import AnnotationMode, body
+from .core.operators import UdfOperator
+from .core.plan import iter_nodes, render_tree
+from .optimizer import PlanContext, enumerate_flows
+from .workloads import ALL_WORKLOADS
+
+
+def _mode(name: str) -> AnnotationMode:
+    return AnnotationMode.MANUAL if name == "manual" else AnnotationMode.SCA
+
+
+def cmd_list(_args) -> int:
+    rows = []
+    for name, build in ALL_WORKLOADS.items():
+        workload = build()
+        rows.append((name, workload.description))
+    print(render_table(rows, ("workload", "description")))
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    workload = ALL_WORKLOADS[args.workload]()
+    ctx = PlanContext(workload.catalog, _mode(args.mode))
+    print(f"Implemented flow for {workload.name}:")
+    print(render_tree(body(workload.plan)))
+    print(f"\nDerived properties ({args.mode}):")
+    rows = []
+    for node_ in iter_nodes(workload.plan):
+        op = node_.op
+        if not isinstance(op, UdfOperator):
+            continue
+        props = ctx.props(op)
+        hi = props.emit_bounds.hi
+        rows.append(
+            (
+                op.name,
+                ", ".join(sorted(a.name for a in props.reads)) or "-",
+                ", ".join(sorted(a.name for a in props.writes)) or "-",
+                f"[{props.emit_bounds.lo}, {'inf' if hi is None else hi}]",
+                "yes" if props.conservative else "no",
+            )
+        )
+    print(render_table(rows, ("operator", "read set", "write set", "emits", "conservative")))
+    return 0
+
+
+def cmd_enumerate(args) -> int:
+    workload = ALL_WORKLOADS[args.workload]()
+    ctx = PlanContext(workload.catalog, _mode(args.mode))
+    flows = enumerate_flows(body(workload.plan), ctx)
+    print(f"{len(flows)} valid reordered data flows ({args.mode} properties):")
+    limit = args.limit if args.limit > 0 else len(flows)
+    from .core.plan import linearize
+
+    for flow in flows[:limit]:
+        print("  ", " -> ".join(linearize(flow)))
+    if limit < len(flows):
+        print(f"   ... and {len(flows) - limit} more")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    workload = ALL_WORKLOADS[args.workload]()
+    outcome = run_experiment(
+        workload,
+        picks=args.picks,
+        mode=_mode(args.mode),
+        execute_all=args.all,
+    )
+    print(render_figure(outcome, f"Experiment — {workload.name}"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Opening the Black Boxes in Data Flow "
+        "Optimization' (PVLDB 2012)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available workloads").set_defaults(fn=cmd_list)
+
+    for name, fn, extra in (
+        ("analyze", cmd_analyze, False),
+        ("enumerate", cmd_enumerate, True),
+        ("experiment", cmd_experiment, False),
+    ):
+        p = sub.add_parser(name, help=f"{name} a workload")
+        p.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+        p.add_argument("--mode", choices=("sca", "manual"), default="sca")
+        if extra:
+            p.add_argument("--limit", type=int, default=25)
+        if name == "experiment":
+            p.add_argument("--picks", type=int, default=10)
+            p.add_argument("--all", action="store_true", help="execute every plan")
+        p.set_defaults(fn=fn)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""Catalog: data statistics and integrity metadata.
+
+The optimizer needs three kinds of knowledge beyond UDF properties:
+
+* **statistics** (row counts, distinct values, record widths) for cost and
+  cardinality estimation — the paper's optimizer hints such as "Number of
+  Distinct Values per Key-Set" (Section 7.1);
+* **unique keys**, to decide when a join preserves key groups;
+* **referential constraints** ("F is a foreign key to K", Section 4.3.2),
+  which enable the invariant grouping transformation and totality-aware
+  key-group preservation for joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .errors import SchemaError
+from .schema import Attribute
+
+
+@dataclass(slots=True)
+class SourceStats:
+    """Statistics for one data source instance."""
+
+    row_count: int
+    distinct: dict[Attribute, int] = field(default_factory=dict)
+    attr_bytes: dict[Attribute, float] = field(default_factory=dict)
+
+    def distinct_of(self, attribute: Attribute) -> int:
+        return self.distinct.get(attribute, max(1, self.row_count))
+
+
+@dataclass(frozen=True, slots=True)
+class RefConstraint:
+    """Referential constraint: every ``from_attrs`` value appears in
+    ``to_attrs`` (when ``total``), and ``to_attrs`` is a key of its source."""
+
+    from_attrs: frozenset[Attribute]
+    to_attrs: frozenset[Attribute]
+    total: bool = True
+
+
+class Catalog:
+    """Registry of source statistics and integrity constraints."""
+
+    def __init__(self) -> None:
+        self._sources: dict[str, SourceStats] = {}
+        self._unique_keys: set[frozenset[Attribute]] = set()
+        self._refs: list[RefConstraint] = []
+
+    # -- registration -----------------------------------------------------
+
+    def add_source(self, name: str, stats: SourceStats) -> None:
+        if name in self._sources:
+            raise SchemaError(f"source {name!r} already registered")
+        self._sources[name] = stats
+
+    def declare_unique(self, *attributes: Attribute) -> None:
+        """Declare that rows are unique on the given attribute set."""
+        if not attributes:
+            raise SchemaError("a unique key needs at least one attribute")
+        self._unique_keys.add(frozenset(attributes))
+
+    def declare_reference(
+        self,
+        from_attrs: tuple[Attribute, ...],
+        to_attrs: tuple[Attribute, ...],
+        total: bool = True,
+    ) -> None:
+        """Declare ``from_attrs`` references ``to_attrs`` (FK -> PK)."""
+        self._refs.append(
+            RefConstraint(frozenset(from_attrs), frozenset(to_attrs), total)
+        )
+
+    # -- lookups ------------------------------------------------------------
+
+    def stats(self, source_name: str) -> SourceStats:
+        try:
+            return self._sources[source_name]
+        except KeyError:
+            raise SchemaError(f"unknown source {source_name!r}") from None
+
+    def has_source(self, source_name: str) -> bool:
+        return source_name in self._sources
+
+    def source_unique_keys(
+        self, schema: frozenset[Attribute]
+    ) -> set[frozenset[Attribute]]:
+        """Declared unique keys fully contained in the given schema."""
+        return {k for k in self._unique_keys if k <= schema}
+
+    def is_unique(self, attrs: frozenset[Attribute]) -> bool:
+        """True if the attribute set contains a declared unique key."""
+        return any(key <= attrs for key in self._unique_keys)
+
+    def reference_between(
+        self, from_attrs: frozenset[Attribute], to_attrs: frozenset[Attribute]
+    ) -> RefConstraint | None:
+        """Constraint whose endpoints match the given attribute sets."""
+        for ref in self._refs:
+            if ref.from_attrs == from_attrs and ref.to_attrs == to_attrs:
+                return ref
+        return None
+
+    def distinct_of(self, attribute: Attribute) -> int | None:
+        for stats in self._sources.values():
+            if attribute in stats.distinct:
+                return stats.distinct[attribute]
+        return None
+
+    def attr_width(self, attribute: Attribute, default: float = 8.0) -> float:
+        for stats in self._sources.values():
+            if attribute in stats.attr_bytes:
+                return stats.attr_bytes[attribute]
+        return default

@@ -1,0 +1,103 @@
+"""Data sets with bag (unordered multiset) semantics.
+
+The paper defines a data set as an unordered list of records and data set
+equality as the existence of a record-level bijection (Section 2.2).  We
+provide canonicalization helpers used throughout the tests and the engine
+to compare the outputs of reordered plans.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Iterable
+
+from .record import RawRecord
+from .schema import Attribute
+
+
+def _canonical_value(value: Any) -> Any:
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical_value(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _canonical_value(v)) for k, v in value.items()))
+    return value
+
+
+def canonical_record(record: RawRecord) -> tuple:
+    """Hashable canonical form of a record (sorted by attribute name)."""
+    return tuple(
+        sorted(((a.name, _canonical_value(v)) for a, v in record.items()))
+    )
+
+
+def bag_of(records: Iterable[RawRecord]) -> Counter:
+    """Multiset view of a record collection."""
+    return Counter(canonical_record(r) for r in records)
+
+
+def datasets_equal(left: Iterable[RawRecord], right: Iterable[RawRecord]) -> bool:
+    """Bag equality as defined in Section 2.2 of the paper."""
+    return bag_of(left) == bag_of(right)
+
+
+def project(records: Iterable[RawRecord], wanted: Iterable[Attribute]) -> list[RawRecord]:
+    """Project records onto a set of attributes (missing attributes skipped)."""
+    wanted = tuple(wanted)
+    out: list[RawRecord] = []
+    for r in records:
+        out.append({a: r[a] for a in wanted if a in r})
+    return out
+
+
+def projected_equal(
+    left: Iterable[RawRecord],
+    right: Iterable[RawRecord],
+    wanted: Iterable[Attribute],
+) -> bool:
+    """Bag equality after projecting both sides onto ``wanted``.
+
+    Reordered plans may differ in which *pass-through* attributes survive to
+    the sink; equivalence is judged on the attributes the sink asks for,
+    which corresponds to the paper judging equivalence on the original
+    plan's output schema.
+    """
+    wanted = tuple(wanted)
+    return datasets_equal(project(left, wanted), project(right, wanted))
+
+
+def _rounded(record: RawRecord, digits: int) -> RawRecord:
+    out: RawRecord = {}
+    for a, v in record.items():
+        if isinstance(v, float):
+            out[a] = round(v, digits)
+        else:
+            out[a] = v
+    return out
+
+
+def datasets_approx_equal(
+    left: Iterable[RawRecord],
+    right: Iterable[RawRecord],
+    digits: int = 6,
+) -> bool:
+    """Bag equality with floats rounded to ``digits`` decimal places.
+
+    Plan reorderings change float summation order; results equal up to
+    floating-point non-associativity are considered equivalent.
+    """
+    return datasets_equal(
+        (_rounded(r, digits) for r in left), (_rounded(r, digits) for r in right)
+    )
+
+
+def projected_approx_equal(
+    left: Iterable[RawRecord],
+    right: Iterable[RawRecord],
+    wanted: Iterable[Attribute],
+    digits: int = 6,
+) -> bool:
+    """Projection onto ``wanted`` plus float-tolerant bag equality."""
+    wanted = tuple(wanted)
+    return datasets_approx_equal(
+        project(left, wanted), project(right, wanted), digits
+    )

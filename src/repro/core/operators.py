@@ -1,0 +1,339 @@
+"""Logical PACT operators: Source, Sink, Map, Reduce, Cross, Match, CoGroup.
+
+Each operator couples a second-order function (the operator type) with a
+first-order :class:`~repro.core.udf.Udf` and the positional field maps (the
+redirection map alpha) fixed when the flow was authored.  Binding a UDF's
+positional properties against those maps yields attribute-level read/write
+sets — the inputs to the reordering conditions of Section 4.
+
+Operators compare by identity: the same operator object appears in every
+enumerated alternative of a plan, which keeps attribute naming stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .errors import PlanError, SchemaError
+from .properties import EmitBounds, KatBehavior, UdfProperties
+from .record import OutputPositionResolver
+from .schema import Attribute, FieldMap, NewAttributeFactory
+from .udf import AnnotationMode, ParamKind, Udf
+
+
+@dataclass(frozen=True, slots=True)
+class BoundProps:
+    """Attribute-level properties of one operator (read/write sets etc.).
+
+    ``writes`` is the full write set of Definition 2: modified attributes,
+    projected attributes, and newly created attributes.  ``reads`` includes
+    key attributes (the paper adds Match/Reduce keys to the read set).
+    """
+
+    reads: frozenset[Attribute]
+    branch_reads: frozenset[Attribute]
+    modified: frozenset[Attribute]
+    projected: frozenset[Attribute]
+    new_attrs: frozenset[Attribute]
+    emit_bounds: EmitBounds
+    kat_behavior: KatBehavior
+    conservative: bool
+
+    @property
+    def writes(self) -> frozenset[Attribute]:
+        return self.modified | self.projected | self.new_attrs
+
+    @property
+    def accessed(self) -> frozenset[Attribute]:
+        return self.reads | self.writes
+
+
+class Operator:
+    """Base class for all logical operators."""
+
+    arity: int = 1
+    is_kat: bool = False
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name})"
+
+
+class Source(Operator):
+    """A data source with a fixed schema (one scan instance)."""
+
+    arity = 0
+
+    def __init__(self, name: str, schema: tuple[Attribute, ...]) -> None:
+        super().__init__(name)
+        if not schema:
+            raise SchemaError(f"source {name!r} needs a non-empty schema")
+        self.schema = FieldMap(tuple(schema))
+
+    def output_attrs(self) -> frozenset[Attribute]:
+        return self.schema.as_set()
+
+
+class Sink(Operator):
+    """A data sink; ``wanted`` is the projection used for output comparison."""
+
+    arity = 1
+
+    def __init__(self, name: str, wanted: tuple[Attribute, ...] | None = None) -> None:
+        super().__init__(name)
+        self.wanted = tuple(wanted) if wanted is not None else None
+
+
+class UdfOperator(Operator):
+    """Shared machinery for the five PACT operator types."""
+
+    def __init__(self, name: str, udf: Udf, input_maps: tuple[FieldMap, ...]) -> None:
+        super().__init__(name)
+        expected = tuple(
+            ParamKind.RECORD_LIST if self.is_kat else ParamKind.RECORD
+            for _ in input_maps
+        )
+        if udf.param_kinds != expected:
+            raise PlanError(
+                f"operator {name!r}: UDF parameter kinds {udf.param_kinds} do "
+                f"not match the operator type (expected {expected})"
+            )
+        self.udf = udf
+        self.input_maps = input_maps
+        self.new_attr_factory = NewAttributeFactory(name)
+        self.resolver = OutputPositionResolver(input_maps, self.new_attr_factory)
+        self._bound_cache: dict[AnnotationMode, BoundProps] = {}
+
+    # -- property binding ----------------------------------------------------
+
+    def key_attrs(self) -> frozenset[Attribute]:
+        """Key attributes (empty for Map/Cross); overridden by keyed ops."""
+        return frozenset()
+
+    def bound_props(self, mode: AnnotationMode) -> BoundProps:
+        if mode not in self._bound_cache:
+            self._bound_cache[mode] = self._bind(self.udf.properties(mode))
+        return self._bound_cache[mode]
+
+    def _bind(self, props: UdfProperties) -> BoundProps:
+        read_universe = {
+            (i, p)
+            for i, fmap in enumerate(self.input_maps)
+            for p in range(len(fmap))
+        }
+        width = self.resolver.total_width
+        write_universe = set(range(width))
+
+        def read_attrs(fs) -> frozenset[Attribute]:
+            resolved = fs.resolve(read_universe)
+            return frozenset(
+                self.input_maps[i].attr_at(p) for (i, p) in resolved
+            )
+
+        reads = read_attrs(props.reads) | self.key_attrs()
+        branch_reads = read_attrs(props.branch_reads)
+
+        modified_pos = props.writes_modified.resolve(write_universe)
+        modified = frozenset(self.resolver.attr_for(p) for p in modified_pos)
+        projected_pos = props.writes_projected.resolve(write_universe)
+        projected = frozenset(self.resolver.attr_for(p) for p in projected_pos)
+
+        new_attrs: frozenset[Attribute] = frozenset()
+        if not props.writes_modified.cofinite:
+            new_attrs = frozenset(
+                self.resolver.attr_for(p)
+                for p in props.writes_modified.finite_items()
+                if isinstance(p, int) and p >= width
+            )
+
+        # Pure field-to-field copies: a copy to the *same* attribute is
+        # neither a read nor a write (the value cannot change anything);
+        # a copy to a *different* attribute reads the source and writes the
+        # destination (Definition 2/3).
+        extra_reads: set[Attribute] = set()
+        extra_modified: set[Attribute] = set()
+        extra_new: set[Attribute] = set()
+        for out_pos, in_idx, in_pos in props.copies:
+            src_attr = self.input_maps[in_idx].attr_at(in_pos)
+            dst_attr = self.resolver.attr_for(out_pos)
+            if dst_attr == src_attr:
+                continue
+            extra_reads.add(src_attr)
+            if out_pos >= width:
+                extra_new.add(dst_attr)
+            else:
+                extra_modified.add(dst_attr)
+        reads = reads | frozenset(extra_reads)
+        modified = modified | frozenset(extra_modified)
+        new_attrs = new_attrs | frozenset(extra_new)
+
+        return BoundProps(
+            reads=reads,
+            branch_reads=branch_reads,
+            modified=modified,
+            projected=projected,
+            new_attrs=new_attrs,
+            emit_bounds=props.emit_bounds,
+            kat_behavior=props.kat_behavior,
+            conservative=props.is_conservative(),
+        )
+
+    def positional_attrs(self) -> frozenset[Attribute]:
+        return self.resolver.positional_attrs()
+
+    def output_attrs_from(
+        self, mode: AnnotationMode, *child_attrs: frozenset[Attribute]
+    ) -> frozenset[Attribute]:
+        """Schema propagation: inputs minus projected plus created."""
+        props = self.bound_props(mode)
+        combined: set[Attribute] = set()
+        for attrs in child_attrs:
+            combined |= attrs
+        return frozenset((combined - props.projected) | props.new_attrs)
+
+
+class MapOp(UdfOperator):
+    """Record-at-a-time unary operator."""
+
+    arity = 1
+    is_kat = False
+
+    def __init__(self, name: str, udf: Udf, input_map: FieldMap) -> None:
+        super().__init__(name, udf, (input_map,))
+
+    @property
+    def input_map(self) -> FieldMap:
+        return self.input_maps[0]
+
+
+class ReduceOp(UdfOperator):
+    """Key-at-a-time unary operator; the UDF receives whole key groups."""
+
+    arity = 1
+    is_kat = True
+
+    def __init__(
+        self, name: str, udf: Udf, input_map: FieldMap, key_positions: tuple[int, ...]
+    ) -> None:
+        super().__init__(name, udf, (input_map,))
+        if not key_positions:
+            raise PlanError(f"Reduce {name!r} needs at least one key position")
+        self.key_positions = tuple(key_positions)
+
+    @property
+    def input_map(self) -> FieldMap:
+        return self.input_maps[0]
+
+    def key_attrs(self) -> frozenset[Attribute]:
+        return frozenset(self.input_map.attr_at(p) for p in self.key_positions)
+
+    def key_attr_tuple(self) -> tuple[Attribute, ...]:
+        return tuple(self.input_map.attr_at(p) for p in self.key_positions)
+
+
+class CrossOp(UdfOperator):
+    """Record-at-a-time binary operator over the Cartesian product."""
+
+    arity = 2
+    is_kat = False
+
+    def __init__(
+        self, name: str, udf: Udf, left_map: FieldMap, right_map: FieldMap
+    ) -> None:
+        super().__init__(name, udf, (left_map, right_map))
+
+    @property
+    def left_map(self) -> FieldMap:
+        return self.input_maps[0]
+
+    @property
+    def right_map(self) -> FieldMap:
+        return self.input_maps[1]
+
+
+class MatchOp(UdfOperator):
+    """Equi-join style binary operator: UDF runs per matching record pair."""
+
+    arity = 2
+    is_kat = False
+
+    def __init__(
+        self,
+        name: str,
+        udf: Udf,
+        left_map: FieldMap,
+        right_map: FieldMap,
+        left_key_positions: tuple[int, ...],
+        right_key_positions: tuple[int, ...],
+    ) -> None:
+        super().__init__(name, udf, (left_map, right_map))
+        if len(left_key_positions) != len(right_key_positions) or not left_key_positions:
+            raise PlanError(f"Match {name!r}: malformed key positions")
+        self.left_key_positions = tuple(left_key_positions)
+        self.right_key_positions = tuple(right_key_positions)
+
+    @property
+    def left_map(self) -> FieldMap:
+        return self.input_maps[0]
+
+    @property
+    def right_map(self) -> FieldMap:
+        return self.input_maps[1]
+
+    def left_key_attrs(self) -> tuple[Attribute, ...]:
+        return tuple(self.left_map.attr_at(p) for p in self.left_key_positions)
+
+    def right_key_attrs(self) -> tuple[Attribute, ...]:
+        return tuple(self.right_map.attr_at(p) for p in self.right_key_positions)
+
+    def side_key_attrs(self, side: int) -> tuple[Attribute, ...]:
+        return self.left_key_attrs() if side == 0 else self.right_key_attrs()
+
+    def key_attrs(self) -> frozenset[Attribute]:
+        # The conceptual transformation of Section 4.3.1 adds the keys to the
+        # read set of the Match UDF (f').
+        return frozenset(self.left_key_attrs()) | frozenset(self.right_key_attrs())
+
+
+class CoGroupOp(UdfOperator):
+    """Key-at-a-time binary operator: UDF runs per key with both groups."""
+
+    arity = 2
+    is_kat = True
+
+    def __init__(
+        self,
+        name: str,
+        udf: Udf,
+        left_map: FieldMap,
+        right_map: FieldMap,
+        left_key_positions: tuple[int, ...],
+        right_key_positions: tuple[int, ...],
+    ) -> None:
+        super().__init__(name, udf, (left_map, right_map))
+        if len(left_key_positions) != len(right_key_positions) or not left_key_positions:
+            raise PlanError(f"CoGroup {name!r}: malformed key positions")
+        self.left_key_positions = tuple(left_key_positions)
+        self.right_key_positions = tuple(right_key_positions)
+
+    @property
+    def left_map(self) -> FieldMap:
+        return self.input_maps[0]
+
+    @property
+    def right_map(self) -> FieldMap:
+        return self.input_maps[1]
+
+    def left_key_attrs(self) -> tuple[Attribute, ...]:
+        return tuple(self.left_map.attr_at(p) for p in self.left_key_positions)
+
+    def right_key_attrs(self) -> tuple[Attribute, ...]:
+        return tuple(self.right_map.attr_at(p) for p in self.right_key_positions)
+
+    def side_key_attrs(self, side: int) -> tuple[Attribute, ...]:
+        return self.left_key_attrs() if side == 0 else self.right_key_attrs()
+
+    def key_attrs(self) -> frozenset[Attribute]:
+        return frozenset(self.left_key_attrs()) | frozenset(self.right_key_attrs())

@@ -1,0 +1,204 @@
+"""Data flow plans as immutable operator trees.
+
+A plan is a tree of :class:`Node` objects whose leaves are sources and whose
+root is usually a sink.  Nodes are hashable and compare structurally (with
+operators compared by identity), so sets of enumerated alternatives
+deduplicate naturally and caches can key on nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from .errors import PlanError
+from .operators import (
+    CoGroupOp,
+    CrossOp,
+    MapOp,
+    MatchOp,
+    Operator,
+    ReduceOp,
+    Sink,
+    Source,
+    UdfOperator,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Node:
+    """One operator application over child sub-flows."""
+
+    op: Operator
+    children: tuple["Node", ...] = ()
+
+    def __post_init__(self) -> None:
+        if len(self.children) != self.op.arity:
+            raise PlanError(
+                f"operator {self.op.name!r} has arity {self.op.arity} but got "
+                f"{len(self.children)} children"
+            )
+
+    def with_children(self, children: tuple["Node", ...]) -> "Node":
+        return Node(self.op, children)
+
+    @property
+    def only_child(self) -> "Node":
+        if len(self.children) != 1:
+            raise PlanError(f"operator {self.op.name!r} is not unary")
+        return self.children[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Node({render_inline(self)})"
+
+
+def node(op: Operator, *children: Node) -> Node:
+    """Convenience constructor."""
+    return Node(op, tuple(children))
+
+
+def chain(source: Operator, *ops: Operator) -> Node:
+    """Build a linear flow ``source -> ops[0] -> ops[1] -> ...``."""
+    current = Node(source, ())
+    for op in ops:
+        current = Node(op, (current,))
+    return current
+
+
+def iter_nodes(root: Node) -> Iterator[Node]:
+    """Pre-order traversal."""
+    stack = [root]
+    while stack:
+        current = stack.pop()
+        yield current
+        stack.extend(reversed(current.children))
+
+
+def operators_of(root: Node) -> list[Operator]:
+    return [n.op for n in iter_nodes(root)]
+
+
+def signature(root: Node) -> tuple:
+    """Structural identity of a plan (operator names + shape)."""
+    return (root.op.name,) + tuple(signature(c) for c in root.children)
+
+
+def replace_subtree(root: Node, old: Node, new: Node) -> Node:
+    """Return a copy of ``root`` with the subtree ``old`` replaced by ``new``.
+
+    Matching is structural; the first match in pre-order is replaced.
+    """
+    if root == old:
+        return new
+    replaced = False
+    new_children = []
+    for child in root.children:
+        if not replaced:
+            candidate = replace_subtree(child, old, new)
+            if candidate is not child and candidate != child:
+                replaced = True
+                new_children.append(candidate)
+                continue
+            if child == old:
+                replaced = True
+                new_children.append(new)
+                continue
+        new_children.append(child)
+    if not replaced and root != old:
+        return root
+    return Node(root.op, tuple(new_children))
+
+
+def validate(root: Node) -> None:
+    """Structural validation: unique operator names, single sink at root."""
+    names: set[str] = set()
+    for n in iter_nodes(root):
+        if n.op.name in names:
+            raise PlanError(f"duplicate operator name {n.op.name!r} in plan")
+        names.add(n.op.name)
+        if isinstance(n.op, Sink) and n is not root:
+            raise PlanError("sink operators may only appear at the plan root")
+        if isinstance(n.op, Source) and n.children:
+            raise PlanError("source operators are leaves")
+
+
+def body(root: Node) -> Node:
+    """Strip a sink root, if present (enumeration works below the sink)."""
+    if isinstance(root.op, Sink):
+        return root.only_child
+    return root
+
+
+def resinked(original_root: Node, new_body: Node) -> Node:
+    """Re-attach the sink of ``original_root`` (if any) on top of a new body."""
+    if isinstance(original_root.op, Sink):
+        return Node(original_root.op, (new_body,))
+    return new_body
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+_KIND_LABEL: dict[type, str] = {
+    Source: "Source",
+    Sink: "Sink",
+    MapOp: "Map",
+    ReduceOp: "Reduce",
+    CrossOp: "Cross",
+    MatchOp: "Match",
+    CoGroupOp: "CoGroup",
+}
+
+
+def kind_label(op: Operator) -> str:
+    return _KIND_LABEL.get(type(op), type(op).__name__)
+
+
+def render_inline(root: Node) -> str:
+    """Compact one-line rendering, e.g. ``Map:f(Source:I)``."""
+    label = f"{kind_label(root.op)}:{root.op.name}"
+    if not root.children:
+        return label
+    inner = ", ".join(render_inline(c) for c in root.children)
+    return f"{label}({inner})"
+
+
+def render_tree(root: Node) -> str:
+    """Multi-line ASCII rendering of a plan tree."""
+    lines: list[str] = []
+
+    def walk(n: Node, prefix: str, is_last: bool) -> None:
+        connector = "" if not prefix else ("`-- " if is_last else "|-- ")
+        lines.append(f"{prefix}{connector}{kind_label(n.op)} {n.op.name}")
+        child_prefix = prefix + ("    " if is_last or not prefix else "|   ")
+        for i, child in enumerate(n.children):
+            walk(child, child_prefix, i == len(n.children) - 1)
+
+    walk(root, "", True)
+    return "\n".join(lines)
+
+
+def linearize(root: Node) -> tuple[str, ...]:
+    """Bottom-up order of UDF operator names along the main spine.
+
+    Useful in tests for chains: sources and sinks are skipped.
+    """
+    order: list[str] = []
+
+    def walk(n: Node) -> None:
+        for child in n.children:
+            walk(child)
+        if isinstance(n.op, UdfOperator):
+            order.append(n.op.name)
+
+    walk(root)
+    return tuple(order)
+
+
+def map_nodes(root: Node, fn: Callable[[Node], Node | None]) -> Node:
+    """Bottom-up rebuild; ``fn`` may return a replacement for each node."""
+    new_children = tuple(map_nodes(c, fn) for c in root.children)
+    candidate = Node(root.op, new_children)
+    replacement = fn(candidate)
+    return replacement if replacement is not None else candidate

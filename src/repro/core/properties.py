@@ -1,0 +1,233 @@
+"""Operator properties: read/write sets, emit bounds, KAT group behavior.
+
+These are the "handful of properties" (Sections 4 and 5 of the paper) that
+replace full algebraic knowledge of an operator:
+
+* the **read set** — fields that may influence the UDF's output,
+* the **write set** — fields whose value may change (modifications,
+  projections, and newly created fields),
+* **emit cardinality bounds** — how many records one UDF call may emit,
+* **branch reads** — the fields that decide *whether* records are emitted
+  (used for the key group preservation condition, Definition 5),
+* a **KAT group behavior** describing how Reduce/CoGroup UDFs treat their
+  key groups.
+
+Field sets support a *cofinite* representation (``ALL`` minus a finite set)
+so the conservative fallback of the static analyzer ("when in doubt, add
+the attribute", Section 5) is expressible without knowing input widths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+# ---------------------------------------------------------------------------
+# FieldSet: finite or cofinite sets of field identifiers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class FieldSet:
+    """A finite or cofinite set of field identifiers.
+
+    ``cofinite=False``: the set is exactly ``items``.
+    ``cofinite=True``: the set is *everything except* ``items``.
+
+    Identifiers are ``(input_index, position)`` pairs for reads and plain
+    output positions (ints) for writes; the algebra is generic.
+    """
+
+    items: frozenset = frozenset()
+    cofinite: bool = False
+
+    @staticmethod
+    def of(*items: Any) -> "FieldSet":
+        return FieldSet(frozenset(items), cofinite=False)
+
+    @staticmethod
+    def empty() -> "FieldSet":
+        return FieldSet(frozenset(), cofinite=False)
+
+    @staticmethod
+    def all() -> "FieldSet":
+        return FieldSet(frozenset(), cofinite=True)
+
+    @staticmethod
+    def all_except(*items: Any) -> "FieldSet":
+        return FieldSet(frozenset(items), cofinite=True)
+
+    def is_empty(self) -> bool:
+        return not self.cofinite and not self.items
+
+    def is_all(self) -> bool:
+        return self.cofinite and not self.items
+
+    def __contains__(self, item: Any) -> bool:
+        if self.cofinite:
+            return item not in self.items
+        return item in self.items
+
+    def add(self, item: Any) -> "FieldSet":
+        if self.cofinite:
+            return FieldSet(self.items - {item}, cofinite=True)
+        return FieldSet(self.items | {item}, cofinite=False)
+
+    def union(self, other: "FieldSet") -> "FieldSet":
+        if not self.cofinite and not other.cofinite:
+            return FieldSet(self.items | other.items, False)
+        if self.cofinite and other.cofinite:
+            return FieldSet(self.items & other.items, True)
+        fin, cof = (self, other) if not self.cofinite else (other, self)
+        return FieldSet(cof.items - fin.items, True)
+
+    def intersection(self, other: "FieldSet") -> "FieldSet":
+        if not self.cofinite and not other.cofinite:
+            return FieldSet(self.items & other.items, False)
+        if self.cofinite and other.cofinite:
+            return FieldSet(self.items | other.items, True)
+        fin, cof = (self, other) if not self.cofinite else (other, self)
+        return FieldSet(fin.items - cof.items, False)
+
+    def is_disjoint(self, other: "FieldSet") -> bool:
+        inter = self.intersection(other)
+        return inter.is_empty()
+
+    def resolve(self, universe: Iterable[Any]) -> frozenset:
+        """Materialize against a finite universe of identifiers."""
+        universe = frozenset(universe)
+        if self.cofinite:
+            return universe - self.items
+        return self.items & universe
+
+    def finite_items(self) -> frozenset:
+        """The finite items (only meaningful when not cofinite)."""
+        return self.items
+
+
+# ---------------------------------------------------------------------------
+# Emit cardinality bounds
+# ---------------------------------------------------------------------------
+
+UNBOUNDED = None
+
+
+@dataclass(frozen=True, slots=True)
+class EmitBounds:
+    """Bounds on the number of records emitted per UDF call.
+
+    ``hi is None`` means unbounded (an emit inside a loop).  For RAT
+    operators a call is one record (or record pair); for KAT operators a
+    call is one key group.
+    """
+
+    lo: int = 0
+    hi: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.lo < 0:
+            raise ValueError("lower emit bound must be >= 0")
+        if self.hi is not None and self.hi < self.lo:
+            raise ValueError("upper emit bound below lower bound")
+
+    @staticmethod
+    def exactly(n: int) -> "EmitBounds":
+        return EmitBounds(n, n)
+
+    @staticmethod
+    def at_most_one() -> "EmitBounds":
+        return EmitBounds(0, 1)
+
+    @staticmethod
+    def unbounded() -> "EmitBounds":
+        return EmitBounds(0, None)
+
+    @property
+    def exactly_one(self) -> bool:
+        return self.lo == 1 and self.hi == 1
+
+    @property
+    def filter_like(self) -> bool:
+        return self.hi is not None and self.hi <= 1
+
+    def times(self, other: "EmitBounds") -> "EmitBounds":
+        """Bounds of composing two emission steps (e.g. join fan-out x UDF)."""
+        hi = None if self.hi is None or other.hi is None else self.hi * other.hi
+        return EmitBounds(self.lo * other.lo, hi)
+
+    def contains(self, n: int) -> bool:
+        return n >= self.lo and (self.hi is None or n <= self.hi)
+
+
+# ---------------------------------------------------------------------------
+# KAT group behavior
+# ---------------------------------------------------------------------------
+
+
+class KatBehavior(enum.Enum):
+    """How a key-at-a-time UDF (Reduce/CoGroup) treats its key groups.
+
+    ALL_OR_NONE   -- emits every record of the group (as a copy, possibly
+                     with write-set fields modified) or none of them; the
+                     keep/drop decision depends only on the branch-read
+                     fields.  This is the extended KGP shape of Definition 5.
+    ONE_PER_GROUP -- emits exactly one record per group (aggregation).
+    ARBITRARY     -- anything else; blocks all KGP-dependent reorderings.
+    NOT_KAT       -- the UDF is record-at-a-time.
+    """
+
+    ALL_OR_NONE = "all_or_none"
+    ONE_PER_GROUP = "one_per_group"
+    ARBITRARY = "arbitrary"
+    NOT_KAT = "not_kat"
+
+
+# ---------------------------------------------------------------------------
+# UdfProperties
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class UdfProperties:
+    """The black-box properties of one UDF, before binding to attributes.
+
+    Field identifiers are positional: reads use ``(input_index, position)``
+    pairs; writes use *output* positions (resolved against the concatenated
+    input widths when the owning operator binds them to attributes).
+    """
+
+    reads: FieldSet = field(default_factory=FieldSet.empty)
+    branch_reads: FieldSet = field(default_factory=FieldSet.empty)
+    writes_modified: FieldSet = field(default_factory=FieldSet.empty)
+    writes_projected: FieldSet = field(default_factory=FieldSet.empty)
+    copies: frozenset = frozenset()  # (output_pos, input_index, input_pos)
+    emit_bounds: EmitBounds = field(default_factory=EmitBounds.unbounded)
+    kat_behavior: KatBehavior = KatBehavior.NOT_KAT
+    origin: str = "manual"
+    notes: tuple[str, ...] = ()
+
+    def is_conservative(self) -> bool:
+        return self.origin == "conservative"
+
+
+def conservative_properties(reason: str = "") -> UdfProperties:
+    """The safe fallback: reads everything, may modify everything.
+
+    Projection is *not* claimed (claiming it would shrink the schema, and
+    the originally authored plan must always remain valid); instead every
+    existing field is treated as possibly modified, which conflicts with
+    every other operator and therefore blocks all reorderings involving
+    this UDF — safety through conservatism (Section 5).
+    """
+    notes = (f"conservative fallback: {reason}",) if reason else ()
+    return UdfProperties(
+        reads=FieldSet.all(),
+        branch_reads=FieldSet.all(),
+        writes_modified=FieldSet.all(),
+        writes_projected=FieldSet.empty(),
+        emit_bounds=EmitBounds.unbounded(),
+        kat_behavior=KatBehavior.ARBITRARY,
+        origin="conservative",
+        notes=notes,
+    )

@@ -1,0 +1,20 @@
+"""Deterministic synthetic data generators for the evaluation workloads."""
+
+from .clickstream import ClickData, ClickScale, generate_clickstream
+from .rng import make_rng
+from .textcorpus import CorpusData, CorpusScale, generate_corpus
+from .tpch import TpchData, TpchScale, generate_tpch, year_of
+
+__all__ = [
+    "ClickData",
+    "ClickScale",
+    "CorpusData",
+    "CorpusScale",
+    "TpchData",
+    "TpchScale",
+    "generate_clickstream",
+    "generate_corpus",
+    "generate_tpch",
+    "make_rng",
+    "year_of",
+]

@@ -1,0 +1,109 @@
+"""Synthetic biomedical abstract generator (PubMed substitute).
+
+The paper's text-mining task detects gene-drug relationships in PubMed
+abstracts using third-party NLP components.  We generate abstracts with
+seeded entity mentions — gene symbols, drug names, MeSH-like terms, and
+species names — with configurable occurrence probabilities, so the toy
+NLP annotators in the workload have the same *filtering* behavior
+(configurable selectivity) the paper's components exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .rng import make_rng
+
+_FILLER = (
+    "study results analysis patients treatment clinical effect expression "
+    "cells protein binding pathway response observed significant increased "
+    "decreased activity levels role function mechanism therapy trial dose"
+).split()
+
+_GENES = [f"GEN{i:03d}" for i in range(60)]
+_DRUGS = [f"drugazol{i:02d}" for i in range(40)]
+_MESH = [f"mesh_term_{i:02d}" for i in range(30)]
+_SPECIES = ["homo_sapiens", "mus_musculus", "rattus_norvegicus", "danio_rerio"]
+
+
+@dataclass(slots=True)
+class CorpusScale:
+    documents: int = 2500
+    words_min: int = 30
+    words_max: int = 90
+    p_gene: float = 0.22
+    p_drug: float = 0.20
+    p_mesh: float = 0.45
+    p_species: float = 0.35
+
+
+@dataclass(slots=True)
+class CorpusData:
+    documents: list[dict] = field(default_factory=list)
+
+
+def generate_corpus(scale: CorpusScale | None = None, seed: int = 31) -> CorpusData:
+    scale = scale or CorpusScale()
+    rng = make_rng(seed)
+    data = CorpusData()
+    for doc_id in range(scale.documents):
+        n_words = rng.randrange(scale.words_min, scale.words_max + 1)
+        words = [_FILLER[rng.randrange(len(_FILLER))] for _ in range(n_words)]
+        if rng.random() < scale.p_gene:
+            for _ in range(1 + rng.randrange(3)):
+                words[rng.randrange(n_words)] = _GENES[rng.randrange(len(_GENES))]
+        if rng.random() < scale.p_drug:
+            for _ in range(1 + rng.randrange(2)):
+                words[rng.randrange(n_words)] = _DRUGS[rng.randrange(len(_DRUGS))]
+        if rng.random() < scale.p_mesh:
+            words[rng.randrange(n_words)] = _MESH[rng.randrange(len(_MESH))]
+        if rng.random() < scale.p_species:
+            words[rng.randrange(n_words)] = _SPECIES[rng.randrange(len(_SPECIES))]
+        data.documents.append({"doc_id": doc_id, "text": " ".join(words)})
+    return data
+
+
+# -- toy NLP components (the "third-party libraries" of the workload) ---------
+
+
+def tokenize(text: str) -> tuple[str, ...]:
+    return tuple(text.split())
+
+
+def pos_tag(tokens: tuple[str, ...]) -> tuple[str, ...]:
+    tags = []
+    for t in tokens:
+        if t.endswith("ed") or t.endswith("ing"):
+            tags.append("VB")
+        elif t[:1].isupper() or "_" in t:
+            tags.append("NN")
+        else:
+            tags.append("XX")
+    return tuple(tags)
+
+
+def find_genes(tokens: tuple[str, ...]) -> tuple[str, ...]:
+    return tuple(t for t in tokens if t.startswith("GEN"))
+
+
+def find_drugs(tokens: tuple[str, ...]) -> tuple[str, ...]:
+    return tuple(t for t in tokens if t.startswith("drugazol"))
+
+
+def find_mesh_terms(tokens: tuple[str, ...]) -> tuple[str, ...]:
+    return tuple(t for t in tokens if t.startswith("mesh_term"))
+
+
+def find_species(tokens: tuple[str, ...]) -> tuple[str, ...]:
+    return tuple(t for t in tokens if "_" in t and not t.startswith(("mesh", "drug")))
+
+
+def extract_relations(
+    genes: tuple[str, ...], drugs: tuple[str, ...]
+) -> tuple[str, ...]:
+    pairs = []
+    for g in genes:
+        for d in drugs:
+            if (len(g) + len(d)) % 3 != 0:  # toy plausibility filter
+                pairs.append(f"{g}~{d}")
+    return tuple(pairs)

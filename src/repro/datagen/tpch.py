@@ -1,0 +1,107 @@
+"""Deterministic TPC-H-shaped data generator.
+
+The paper evaluates on a 400 GB TPC-H database; this generator produces the
+same schema and integrity structure (nation/supplier/customer/orders/
+lineitem with PK-FK references) at laptop scale.  Dates are integer day
+numbers (0 = 1992-01-01), prices are integer cents — integer arithmetic
+keeps reordered aggregations bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .rng import make_rng
+
+DAYS_7_YEARS = 2556  # 1992-01-01 .. 1998-12-31
+
+NATION_NAMES = [
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA",
+    "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN",
+    "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA",
+    "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM",
+    "UNITED STATES",
+]
+
+
+@dataclass(slots=True)
+class TpchScale:
+    """Row counts; defaults give a few-second experiment turnaround."""
+
+    suppliers: int = 100
+    customers: int = 300
+    orders: int = 1500
+    lineitems_per_order_max: int = 7
+
+    def scaled(self, factor: float) -> "TpchScale":
+        return TpchScale(
+            suppliers=max(1, int(self.suppliers * factor)),
+            customers=max(1, int(self.customers * factor)),
+            orders=max(1, int(self.orders * factor)),
+            lineitems_per_order_max=self.lineitems_per_order_max,
+        )
+
+
+@dataclass(slots=True)
+class TpchData:
+    nation: list[dict] = field(default_factory=list)
+    supplier: list[dict] = field(default_factory=list)
+    customer: list[dict] = field(default_factory=list)
+    orders: list[dict] = field(default_factory=list)
+    lineitem: list[dict] = field(default_factory=list)
+
+
+def generate_tpch(scale: TpchScale | None = None, seed: int = 42) -> TpchData:
+    """Generate a referentially consistent TPC-H-shaped database."""
+    scale = scale or TpchScale()
+    rng = make_rng(seed)
+    data = TpchData()
+
+    for key, name in enumerate(NATION_NAMES):
+        data.nation.append({"nationkey": key, "name": name})
+    n_nations = len(NATION_NAMES)
+
+    for suppkey in range(scale.suppliers):
+        data.supplier.append(
+            {
+                "suppkey": suppkey,
+                "name": f"Supplier#{suppkey:06d}",
+                "nationkey": rng.randrange(n_nations),
+            }
+        )
+
+    for custkey in range(scale.customers):
+        data.customer.append(
+            {
+                "custkey": custkey,
+                "name": f"Customer#{custkey:06d}",
+                "nationkey": rng.randrange(n_nations),
+            }
+        )
+
+    for orderkey in range(scale.orders):
+        orderdate = rng.randrange(DAYS_7_YEARS - 200)
+        data.orders.append(
+            {
+                "orderkey": orderkey,
+                "custkey": rng.randrange(scale.customers),
+                "orderdate": orderdate,
+            }
+        )
+        for _ in range(1 + rng.randrange(scale.lineitems_per_order_max)):
+            shipdate = orderdate + rng.randrange(1, 122)
+            data.lineitem.append(
+                {
+                    "orderkey": orderkey,
+                    "suppkey": rng.randrange(scale.suppliers),
+                    "extendedprice": rng.randrange(100_00, 10_000_00),  # cents
+                    "discount": rng.randrange(0, 11),  # percent
+                    "shipdate": shipdate,
+                }
+            )
+    return data
+
+
+def year_of(day: int) -> int:
+    """Year number of an integer day (approximate 365.25-day years)."""
+    return 1992 + int(day / 365.25)

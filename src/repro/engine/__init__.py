@@ -1,0 +1,24 @@
+"""Simulated parallel execution engine (the Nephele substitute)."""
+
+from .executor import Engine, ExecutionResult, execute_physical
+from .metrics import ExecutionReport, OpMetrics
+from .partition import (
+    broadcast,
+    gather,
+    repartition_by_key,
+    round_robin,
+    stable_hash,
+)
+
+__all__ = [
+    "Engine",
+    "ExecutionReport",
+    "ExecutionResult",
+    "OpMetrics",
+    "broadcast",
+    "execute_physical",
+    "gather",
+    "repartition_by_key",
+    "round_robin",
+    "stable_hash",
+]

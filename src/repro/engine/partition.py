@@ -1,0 +1,80 @@
+"""Deterministic partitioning primitives for the simulated cluster.
+
+Python's built-in ``hash`` is randomized per process for strings, which
+would make simulated runtimes non-reproducible; we use a small stable
+hash instead.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Iterable
+
+from ..core.record import RawRecord
+from ..core.schema import Attribute
+
+Partitions = list[list[RawRecord]]
+
+
+def stable_hash(value: Any) -> int:
+    """Deterministic, process-independent hash for record values."""
+    if value is None:
+        return 0x9E3779B1
+    if isinstance(value, bool):
+        return 0x85EBCA77 if value else 0xC2B2AE3D
+    if isinstance(value, int):
+        return (value * 0x9E3779B1) & 0xFFFFFFFF
+    if isinstance(value, float):
+        return zlib.crc32(repr(value).encode())
+    if isinstance(value, str):
+        return zlib.crc32(value.encode())
+    if isinstance(value, (tuple, list)):
+        acc = 0x811C9DC5
+        for item in value:
+            acc = ((acc ^ stable_hash(item)) * 0x01000193) & 0xFFFFFFFF
+        return acc
+    return zlib.crc32(repr(value).encode())
+
+
+def hash_key(row: RawRecord, key: tuple[Attribute, ...]) -> int:
+    return stable_hash(tuple(row[a] for a in key))
+
+
+def empty_partitions(degree: int) -> Partitions:
+    return [[] for _ in range(degree)]
+
+
+def round_robin(rows: Iterable[RawRecord], degree: int) -> Partitions:
+    parts = empty_partitions(degree)
+    for i, row in enumerate(rows):
+        parts[i % degree].append(row)
+    return parts
+
+
+def repartition_by_key(
+    parts: Partitions, key: tuple[Attribute, ...], degree: int
+) -> tuple[Partitions, int]:
+    """Hash-repartition; returns the new partitions and the number of
+    records that crossed instance boundaries."""
+    out = empty_partitions(degree)
+    moved = 0
+    for origin, rows in enumerate(parts):
+        for row in rows:
+            target = hash_key(row, key) % degree
+            if target != origin:
+                moved += 1
+            out[target].append(row)
+    return out, moved
+
+
+def broadcast(parts: Partitions, degree: int) -> tuple[Partitions, int]:
+    """Replicate every record to every instance; returns partitions and the
+    number of records that crossed instance boundaries."""
+    all_rows = [row for rows in parts for row in rows]
+    out = [list(all_rows) for _ in range(degree)]
+    moved = len(all_rows) * (degree - 1)
+    return out, moved
+
+
+def gather(parts: Partitions) -> list[RawRecord]:
+    return [row for rows in parts for row in rows]

@@ -1,0 +1,53 @@
+"""The data flow optimizer: reordering conditions, enumeration, costing."""
+
+from .cardinality import CardinalityEstimator, EstStats, Hints
+from .conditions import kgp_kat, kgp_map, kgp_match_side, roc
+from .context import PlanContext
+from .cost import CostParams
+from .enumeration import (
+    count_alternatives,
+    enum_alternatives_chain,
+    enumerate_flows,
+)
+from .optimizer import OptimizationResult, Optimizer, RankedPlan, optimize
+from .physical import (
+    LocalStrategy,
+    PhysNode,
+    Ship,
+    ShipKind,
+    optimize_physical,
+)
+from .rules import (
+    can_exchange_unary_binary,
+    can_rotate,
+    can_swap_unary_unary,
+    neighbors,
+)
+
+__all__ = [
+    "CardinalityEstimator",
+    "CostParams",
+    "EstStats",
+    "Hints",
+    "LocalStrategy",
+    "OptimizationResult",
+    "Optimizer",
+    "PhysNode",
+    "PlanContext",
+    "RankedPlan",
+    "Ship",
+    "ShipKind",
+    "can_exchange_unary_binary",
+    "can_rotate",
+    "can_swap_unary_unary",
+    "count_alternatives",
+    "enum_alternatives_chain",
+    "enumerate_flows",
+    "kgp_kat",
+    "kgp_map",
+    "kgp_match_side",
+    "neighbors",
+    "optimize",
+    "optimize_physical",
+    "roc",
+]

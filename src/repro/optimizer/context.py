@@ -1,0 +1,210 @@
+"""Plan-level derivation context: schemas, uniqueness, totality.
+
+The reordering conditions of Section 4 need more than per-operator
+read/write sets: they need the attribute sets of sub-flows (for the
+side-disjointness conditions of Theorems 3/4 and Lemma 1), propagated
+unique keys (invariant grouping needs the dimension side's join key to be
+a key), and totality of references (for key-group preservation of joins).
+This module computes and caches those per plan node.
+"""
+
+from __future__ import annotations
+
+from ..core.catalog import Catalog
+from ..core.errors import PlanError
+from ..core.operators import (
+    BoundProps,
+    CoGroupOp,
+    CrossOp,
+    MapOp,
+    MatchOp,
+    Operator,
+    ReduceOp,
+    Sink,
+    Source,
+    UdfOperator,
+)
+from ..core.plan import Node
+from ..core.properties import EmitBounds
+from ..core.schema import Attribute
+from ..core.udf import AnnotationMode
+
+
+class PlanContext:
+    """Caches bound properties and derived plan facts for one annotation
+    mode over one catalog."""
+
+    def __init__(self, catalog: Catalog, mode: AnnotationMode = AnnotationMode.SCA) -> None:
+        self.catalog = catalog
+        self.mode = mode
+        self._attrs_cache: dict[Node, frozenset[Attribute]] = {}
+        self._unique_cache: dict[Node, frozenset[frozenset[Attribute]]] = {}
+        self._preserve_cache: dict[Node, bool] = {}
+
+    # -- operator properties -----------------------------------------------------
+
+    def props(self, op: Operator) -> BoundProps:
+        if not isinstance(op, UdfOperator):
+            raise PlanError(f"operator {op.name!r} has no UDF properties")
+        return op.bound_props(self.mode)
+
+    # -- output attribute sets ------------------------------------------------
+
+    def out_attrs(self, node: Node) -> frozenset[Attribute]:
+        cached = self._attrs_cache.get(node)
+        if cached is not None:
+            return cached
+        op = node.op
+        if isinstance(op, Source):
+            result = op.output_attrs()
+        elif isinstance(op, Sink):
+            result = self.out_attrs(node.only_child)
+        elif isinstance(op, UdfOperator):
+            result = op.output_attrs_from(
+                self.mode, *(self.out_attrs(c) for c in node.children)
+            )
+        else:  # pragma: no cover - defensive
+            raise PlanError(f"cannot derive attributes of {op!r}")
+        self._attrs_cache[node] = result
+        return result
+
+    # -- unique key propagation --------------------------------------------------
+
+    def unique_keys(self, node: Node) -> frozenset[frozenset[Attribute]]:
+        cached = self._unique_cache.get(node)
+        if cached is not None:
+            return cached
+        result = self._derive_unique(node)
+        self._unique_cache[node] = result
+        return result
+
+    def _derive_unique(self, node: Node) -> frozenset[frozenset[Attribute]]:
+        op = node.op
+        if isinstance(op, Source):
+            return frozenset(self.catalog.source_unique_keys(op.output_attrs()))
+        if isinstance(op, Sink):
+            return self.unique_keys(node.only_child)
+        if isinstance(op, MapOp):
+            props = self.props(op)
+            if props.emit_bounds.hi is None or props.emit_bounds.hi > 1:
+                return frozenset()
+            child_keys = self.unique_keys(node.only_child)
+            return frozenset(
+                k for k in child_keys if not (k & props.writes)
+            )
+        if isinstance(op, ReduceOp):
+            props = self.props(op)
+            if props.emit_bounds.hi == 1 and not (op.key_attrs() & props.writes):
+                return frozenset({op.key_attrs()})
+            return frozenset()
+        if isinstance(op, MatchOp):
+            props = self.props(op)
+            if props.emit_bounds.hi is None or props.emit_bounds.hi > 1:
+                return frozenset()
+            left, right = node.children
+            out: set[frozenset[Attribute]] = set()
+            if self.side_key_unique(node, 1):
+                # each left row appears at most once
+                for k in self.unique_keys(left):
+                    if not (k & props.writes):
+                        out.add(k)
+            if self.side_key_unique(node, 0):
+                for k in self.unique_keys(right):
+                    if not (k & props.writes):
+                        out.add(k)
+            return frozenset(out)
+        if isinstance(op, CoGroupOp):
+            props = self.props(op)
+            if props.emit_bounds.hi == 1:
+                key = frozenset(op.left_key_attrs()) | frozenset(op.right_key_attrs())
+                if not (key & props.writes):
+                    return frozenset({key})
+            return frozenset()
+        if isinstance(op, CrossOp):
+            return frozenset()
+        raise PlanError(f"cannot derive unique keys of {op!r}")  # pragma: no cover
+
+    def is_unique(self, node: Node, attrs: frozenset[Attribute]) -> bool:
+        """True if ``attrs`` contains a unique key of the sub-flow output."""
+        return any(key <= attrs for key in self.unique_keys(node))
+
+    def side_key_unique(self, match_node: Node, side: int) -> bool:
+        op = match_node.op
+        if not isinstance(op, (MatchOp, CoGroupOp)):
+            raise PlanError("side_key_unique needs a keyed binary operator")
+        return self.key_unique_in(op, side, match_node.children[side])
+
+    def key_unique_in(self, op, side: int, side_node: Node) -> bool:
+        """Is the ``side`` join key of ``op`` unique in ``side_node``'s output?
+
+        Takes the sub-flow explicitly so swap rules can ask the question for
+        a side subtree that is about to change (push-down vs. pull-up use
+        the same condition)."""
+        key = frozenset(op.side_key_attrs(side))
+        return self.is_unique(side_node, key)
+
+    # -- row preservation (totality propagation) -----------------------------------
+
+    def row_preserving(self, node: Node) -> bool:
+        """True if every logical source row survives to this point with its
+        key attributes unmodified — the conservative requirement for using
+        a *total* referential constraint."""
+        cached = self._preserve_cache.get(node)
+        if cached is not None:
+            return cached
+        op = node.op
+        if isinstance(op, Source):
+            result = True
+        elif isinstance(op, Sink):
+            result = self.row_preserving(node.only_child)
+        elif isinstance(op, (MapOp, ReduceOp)):
+            props = self.props(op)
+            result = props.emit_bounds.lo >= 1 and self.row_preserving(
+                node.only_child
+            )
+        else:
+            result = False  # joins may drop rows; stay conservative
+        self._preserve_cache[node] = result
+        return result
+
+    # -- join fan-out bounds --------------------------------------------------
+
+    def match_record_bounds(
+        self, op, side: int, other_node: Node
+    ) -> EmitBounds:
+        """Per-record emission bounds for one side of a Match: how many
+        output records one record of ``side`` may produce (join fan-out
+        times the UDF's per-pair bounds).
+
+        ``other_node`` is the sub-flow feeding the *other* input; it is
+        passed explicitly because swap rules evaluate the condition for
+        plans in which the ``side`` subtree is about to change.
+        """
+        if not isinstance(op, MatchOp):
+            raise PlanError("match_record_bounds needs a Match operator")
+        other = 1 - side
+        hi_matches: int | None = (
+            1 if self.key_unique_in(op, other, other_node) else None
+        )
+        lo_matches = 0
+        ref = self.catalog.reference_between(
+            frozenset(op.side_key_attrs(side)), frozenset(op.side_key_attrs(other))
+        )
+        if (
+            ref is not None
+            and ref.total
+            and self.row_preserving(other_node)
+            and not self._key_modified_below(frozenset(op.side_key_attrs(other)), other_node)
+        ):
+            lo_matches = 1
+        fanout = EmitBounds(lo_matches, hi_matches)
+        return fanout.times(self.props(op).emit_bounds)
+
+    def _key_modified_below(
+        self, key: frozenset[Attribute], node: Node
+    ) -> bool:
+        """Do any operators in the sub-flow modify the given key attributes?"""
+        if isinstance(node.op, UdfOperator):
+            if self.props(node.op).writes & key:
+                return True
+        return any(self._key_modified_below(key, c) for c in node.children)

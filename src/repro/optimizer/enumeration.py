@@ -1,0 +1,115 @@
+"""Plan enumeration (Section 6).
+
+Two enumerators are provided:
+
+* :func:`enumerate_flows` — the production enumerator: breadth-first
+  closure of the input flow under all valid pairwise swaps (the set
+  Algorithm 1 characterizes, computed over general trees with binary
+  operators).
+* :func:`enum_alternatives_chain` — a faithful transcription of the
+  paper's Algorithm 1 for single-input (chain) data flows, including the
+  memo table and the "descend once per distinct candidate root" rule.
+  Tests assert it agrees with the closure on chains.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core.errors import OptimizationError, PlanError
+from ..core.operators import Sink, Source, UdfOperator
+from ..core.plan import Node, signature
+from .context import PlanContext
+from .rules import can_swap_unary_unary, neighbors
+
+
+def enumerate_flows(
+    body: Node, ctx: PlanContext, limit: int = 1_000_000
+) -> list[Node]:
+    """All data flows derivable from ``body`` by valid reorderings.
+
+    ``body`` must be sink-free (use :func:`repro.core.plan.body`); the
+    original flow is always element 0 of the result.
+    """
+    if isinstance(body.op, Sink):
+        raise PlanError("strip the sink before enumerating (see plan.body)")
+    seen: dict[tuple, Node] = {signature(body): body}
+    queue: deque[Node] = deque([body])
+    order: list[Node] = [body]
+    while queue:
+        current = queue.popleft()
+        for alternative in neighbors(current, ctx):
+            sig = signature(alternative)
+            if sig in seen:
+                continue
+            if len(seen) >= limit:
+                raise OptimizationError(
+                    f"enumeration exceeded {limit} alternatives"
+                )
+            seen[sig] = alternative
+            order.append(alternative)
+            queue.append(alternative)
+    return order
+
+
+def count_alternatives(body: Node, ctx: PlanContext) -> int:
+    return len(enumerate_flows(body, ctx))
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 1 (paper pseudocode, single-input operators)
+# ---------------------------------------------------------------------------
+
+
+def enum_alternatives_chain(flow: Node, ctx: PlanContext) -> list[Node]:
+    """Paper Algorithm 1 over a chain flow (sources, sinks, unary operators).
+
+    The memo table is keyed on the structural signature of the sub-flow,
+    which plays the role of ``getMTabKey``.
+    """
+    memo: dict[tuple, frozenset[Node]] = {}
+    result = _enum_chain(flow, ctx, memo)
+    return sorted(result, key=signature)
+
+
+def _enum_chain(
+    flow: Node, ctx: PlanContext, memo: dict[tuple, frozenset[Node]]
+) -> frozenset[Node]:
+    key = signature(flow)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+
+    root = flow.op
+    if isinstance(root, Source):
+        alts: frozenset[Node] = frozenset({flow})
+    elif isinstance(root, Sink):
+        alts = frozenset(
+            Node(root, (alt,)) for alt in _enum_chain(flow.only_child, ctx, memo)
+        )
+    elif isinstance(root, UdfOperator) and root.arity == 1:
+        collected: set[Node] = set()
+        candidates: set[UdfOperator] = set()
+        for without_root in _enum_chain(flow.only_child, ctx, memo):
+            # add r back on top of each alternative of D-r (line 21)
+            collected.add(Node(root, (without_root,)))
+            s = without_root.op
+            if (
+                isinstance(s, UdfOperator)
+                and s.arity == 1
+                and s not in candidates
+                and can_swap_unary_unary(root, s, ctx)
+            ):
+                candidates.add(s)
+                # replace s by r, enumerate, then append s (lines 24-27)
+                pushed_down = Node(root, without_root.children)
+                for sub in _enum_chain(pushed_down, ctx, memo):
+                    collected.add(Node(s, (sub,)))
+        alts = frozenset(collected)
+    else:
+        raise PlanError(
+            "Algorithm 1 as printed handles single-input operators only; "
+            "use enumerate_flows for trees with binary operators"
+        )
+    memo[key] = alts
+    return alts

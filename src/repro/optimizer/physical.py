@@ -1,0 +1,375 @@
+"""Cost-based physical optimization: shipping and local strategies.
+
+For every logical alternative the physical optimizer chooses, per
+operator, a *shipping strategy* for each input (forward, hash-partition,
+broadcast) and a *local strategy* (pipelined map, sort-based grouping,
+hash join with a build side, nested-loop cross, sort-based co-group),
+tracking *interesting properties* — here, the hash-partitioning of the
+data — so that, e.g., a Match can reuse the partitioning a Reduce
+established (the Q15 discussion of Section 7.3).
+
+The search is a small Volcano-style dynamic program: each node returns
+its cheapest physical plan per partitioning property.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..core.errors import OptimizationError
+from ..core.operators import (
+    CoGroupOp,
+    CrossOp,
+    MapOp,
+    MatchOp,
+    ReduceOp,
+    Sink,
+    Source,
+    UdfOperator,
+)
+from ..core.plan import Node
+from ..core.schema import Attribute
+from .cardinality import CardinalityEstimator, EstStats
+from .context import PlanContext
+from .cost import CostParams
+
+Partitioning = frozenset[frozenset[Attribute]]
+RANDOM: Partitioning = frozenset()
+
+
+class ShipKind(enum.Enum):
+    FORWARD = "forward"
+    PARTITION = "partition"
+    BROADCAST = "broadcast"
+
+
+@dataclass(frozen=True, slots=True)
+class Ship:
+    kind: ShipKind
+    key: tuple[Attribute, ...] | None = None
+
+    def describe(self) -> str:
+        if self.kind is ShipKind.PARTITION and self.key:
+            return f"partition({', '.join(a.name for a in self.key)})"
+        return self.kind.value
+
+
+class LocalStrategy(enum.Enum):
+    SCAN = "scan"
+    PIPELINE = "pipelined map"
+    SORT_GROUP = "sort-based group"
+    HASH_JOIN = "hash join"
+    NESTED_LOOP = "nested-loop cross"
+    SORT_COGROUP = "sort-based co-group"
+    COLLECT = "collect"
+
+
+@dataclass(frozen=True, slots=True)
+class PhysNode:
+    """One operator of a physical execution plan."""
+
+    logical: Node
+    ships: tuple[Ship, ...]
+    local: LocalStrategy
+    build_side: int | None
+    children: tuple["PhysNode", ...]
+    est: EstStats
+    cost_self: float
+    cost_total: float
+    partitioning: Partitioning
+
+    @property
+    def name(self) -> str:
+        return self.logical.op.name
+
+    def describe(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        ships = ", ".join(s.describe() for s in self.ships) or "-"
+        build = f", build={self.build_side}" if self.build_side is not None else ""
+        lines = [
+            f"{pad}{self.name} [{self.local.value}{build}] ships: {ships} "
+            f"(rows~{self.est.rows:.0f}, cost~{self.cost_total:.3f}s)"
+        ]
+        for child in self.children:
+            lines.append(child.describe(indent + 1))
+        return "\n".join(lines)
+
+
+def _keep_partitionings(
+    parts: Partitioning, writes: frozenset[Attribute]
+) -> Partitioning:
+    return frozenset(p for p in parts if not (p & writes))
+
+
+def _compatible(parts: Partitioning, key: frozenset[Attribute]) -> bool:
+    """A partitioning on P co-locates every K-group when P is a subset of K."""
+    return any(p <= key for p in parts)
+
+
+class PhysicalOptimizer:
+    def __init__(
+        self,
+        ctx: PlanContext,
+        estimator: CardinalityEstimator,
+        params: CostParams,
+    ) -> None:
+        self.ctx = ctx
+        self.est = estimator
+        self.params = params
+
+    # -- public ------------------------------------------------------------
+
+    def optimize(self, body: Node) -> PhysNode:
+        options = self._options(body)
+        best = min(options, key=lambda p: p.cost_total)
+        return best
+
+    # -- option generation -----------------------------------------------------
+
+    def _options(self, node: Node) -> list[PhysNode]:
+        op = node.op
+        if isinstance(op, Source):
+            return [self._source(node)]
+        if isinstance(op, Sink):
+            return [
+                self._wrap(node, (Ship(ShipKind.FORWARD),), LocalStrategy.COLLECT,
+                           None, (child,), 0.0, child.partitioning)
+                for child in self._options(node.only_child)
+            ]
+        if isinstance(op, MapOp):
+            return self._prune(
+                [self._map(node, c) for c in self._options(node.only_child)]
+            )
+        if isinstance(op, ReduceOp):
+            return self._prune(
+                [self._reduce(node, c) for c in self._options(node.only_child)]
+            )
+        if isinstance(op, (MatchOp, CoGroupOp, CrossOp)):
+            out: list[PhysNode] = []
+            for left in self._options(node.children[0]):
+                for right in self._options(node.children[1]):
+                    out.extend(self._binary(node, left, right))
+            return self._prune(out)
+        raise OptimizationError(f"cannot plan {op!r}")  # pragma: no cover
+
+    def _prune(self, options: list[PhysNode]) -> list[PhysNode]:
+        """Keep the cheapest option per partitioning property."""
+        best: dict[Partitioning, PhysNode] = {}
+        for option in options:
+            current = best.get(option.partitioning)
+            if current is None or option.cost_total < current.cost_total:
+                best[option.partitioning] = option
+        return list(best.values())
+
+    # -- helpers --------------------------------------------------------------
+
+    def _wrap(
+        self,
+        node: Node,
+        ships: tuple[Ship, ...],
+        local: LocalStrategy,
+        build_side: int | None,
+        children: tuple[PhysNode, ...],
+        cost_self: float,
+        partitioning: Partitioning,
+    ) -> PhysNode:
+        total = cost_self + sum(c.cost_total for c in children)
+        return PhysNode(
+            logical=node,
+            ships=ships,
+            local=local,
+            build_side=build_side,
+            children=children,
+            est=self.est.estimate(node),
+            cost_self=cost_self,
+            cost_total=total,
+            partitioning=partitioning,
+        )
+
+    def _udf_cpu(self, node: Node) -> float:
+        est = self.est.estimate(node)
+        hint = self.est.hints_for(node.op.name)
+        params = self.params
+        units = est.calls * hint.cpu_per_call + est.rows * params.record_overhead
+        return params.cpu_seconds(units)
+
+    # -- per-operator planning ---------------------------------------------------
+
+    def _source(self, node: Node) -> PhysNode:
+        est = self.est.estimate(node)
+        cost = self.params.disk_seconds(est.bytes)
+        return self._wrap(
+            node, (), LocalStrategy.SCAN, None, (), cost, RANDOM
+        )
+
+    def _map(self, node: Node, child: PhysNode) -> PhysNode:
+        props = self.ctx.props(node.op)
+        cost = self._udf_cpu(node)
+        parts = _keep_partitionings(child.partitioning, props.writes)
+        return self._wrap(
+            node,
+            (Ship(ShipKind.FORWARD),),
+            LocalStrategy.PIPELINE,
+            None,
+            (child,),
+            cost,
+            parts,
+        )
+
+    def _reduce(self, node: Node, child: PhysNode) -> PhysNode:
+        op = node.op
+        assert isinstance(op, ReduceOp)
+        params = self.params
+        key = frozenset(op.key_attrs())
+        in_est = child.est
+        cost = 0.0
+        if _compatible(child.partitioning, key):
+            ship = Ship(ShipKind.FORWARD)
+        else:
+            ship = Ship(ShipKind.PARTITION, op.key_attr_tuple())
+            cost += params.net_seconds(params.partition_bytes(in_est.bytes))
+        cost += params.cpu_seconds(params.sort_units(in_est.rows))
+        cost += params.disk_seconds(params.spill_bytes(in_est.bytes))
+        cost += self._udf_cpu(node)
+        return self._wrap(
+            node,
+            (ship,),
+            LocalStrategy.SORT_GROUP,
+            None,
+            (child,),
+            cost,
+            frozenset({key}),
+        )
+
+    def _binary(
+        self, node: Node, left: PhysNode, right: PhysNode
+    ) -> list[PhysNode]:
+        op = node.op
+        if isinstance(op, MatchOp):
+            return self._match(node, left, right)
+        if isinstance(op, CrossOp):
+            return self._cross(node, left, right)
+        if isinstance(op, CoGroupOp):
+            return [self._cogroup(node, left, right)]
+        raise OptimizationError(f"cannot plan {op!r}")  # pragma: no cover
+
+    def _match(
+        self, node: Node, left: PhysNode, right: PhysNode
+    ) -> list[PhysNode]:
+        op = node.op
+        assert isinstance(op, MatchOp)
+        params = self.params
+        props = self.ctx.props(op)
+        lkey = frozenset(op.left_key_attrs())
+        rkey = frozenset(op.right_key_attrs())
+        udf_cost = self._udf_cpu(node)
+        out: list[PhysNode] = []
+
+        # (a) repartition both sides, hash join (build on the smaller side)
+        cost = 0.0
+        ships: list[Ship] = []
+        for child, key, key_tuple in (
+            (left, lkey, op.left_key_attrs()),
+            (right, rkey, op.right_key_attrs()),
+        ):
+            if _compatible(child.partitioning, key):
+                ships.append(Ship(ShipKind.FORWARD))
+            else:
+                ships.append(Ship(ShipKind.PARTITION, key_tuple))
+                cost += params.net_seconds(params.partition_bytes(child.est.bytes))
+        build = 0 if left.est.bytes <= right.est.bytes else 1
+        probe = 1 - build
+        sides = (left, right)
+        cost += params.cpu_seconds(
+            sides[build].est.rows * params.build_unit
+            + sides[probe].est.rows * params.probe_unit
+        )
+        cost += params.disk_seconds(params.spill_bytes(sides[build].est.bytes))
+        cost += udf_cost
+        # After a partitioned join only the join keys are valid partitioning
+        # properties: prior partitionings were destroyed by the shuffle.
+        parts = _keep_partitionings(frozenset({lkey, rkey}), props.writes)
+        out.append(
+            self._wrap(node, tuple(ships), LocalStrategy.HASH_JOIN, build,
+                       (left, right), cost, parts)
+        )
+
+        # (b)/(c) broadcast one side, forward the other, build on broadcast
+        for build_side in (0, 1):
+            build_child = sides[build_side]
+            probe_child = sides[1 - build_side]
+            cost = params.net_seconds(params.broadcast_bytes(build_child.est.bytes))
+            cost += params.cpu_seconds_single(
+                build_child.est.rows * params.build_unit
+            )
+            cost += params.cpu_seconds(probe_child.est.rows * params.probe_unit)
+            cost += params.disk_seconds(
+                params.spill_bytes(build_child.est.bytes * params.degree)
+            )
+            cost += udf_cost
+            ships = [Ship(ShipKind.FORWARD), Ship(ShipKind.FORWARD)]
+            ships[build_side] = Ship(ShipKind.BROADCAST)
+            parts = _keep_partitionings(probe_child.partitioning, props.writes)
+            out.append(
+                self._wrap(node, tuple(ships), LocalStrategy.HASH_JOIN,
+                           build_side, (left, right), cost, parts)
+            )
+        return out
+
+    def _cross(self, node: Node, left: PhysNode, right: PhysNode) -> list[PhysNode]:
+        params = self.params
+        props = self.ctx.props(node.op)
+        pairs = self.est.estimate(node).calls
+        out: list[PhysNode] = []
+        for build_side in (0, 1):
+            sides = (left, right)
+            build_child = sides[build_side]
+            probe_child = sides[1 - build_side]
+            cost = params.net_seconds(params.broadcast_bytes(build_child.est.bytes))
+            cost += params.cpu_seconds(pairs * params.cross_unit)
+            cost += self._udf_cpu(node)
+            ships = [Ship(ShipKind.FORWARD), Ship(ShipKind.FORWARD)]
+            ships[build_side] = Ship(ShipKind.BROADCAST)
+            parts = _keep_partitionings(probe_child.partitioning, props.writes)
+            out.append(
+                self._wrap(node, tuple(ships), LocalStrategy.NESTED_LOOP,
+                           build_side, (left, right), cost, parts)
+            )
+        return out
+
+    def _cogroup(self, node: Node, left: PhysNode, right: PhysNode) -> PhysNode:
+        op = node.op
+        assert isinstance(op, CoGroupOp)
+        params = self.params
+        props = self.ctx.props(op)
+        cost = 0.0
+        ships = []
+        for child, key, key_tuple in (
+            (left, frozenset(op.left_key_attrs()), op.left_key_attrs()),
+            (right, frozenset(op.right_key_attrs()), op.right_key_attrs()),
+        ):
+            if _compatible(child.partitioning, key):
+                ships.append(Ship(ShipKind.FORWARD))
+            else:
+                ships.append(Ship(ShipKind.PARTITION, key_tuple))
+                cost += params.net_seconds(params.partition_bytes(child.est.bytes))
+            cost += params.cpu_seconds(params.sort_units(child.est.rows))
+            cost += params.disk_seconds(params.spill_bytes(child.est.bytes))
+        cost += self._udf_cpu(node)
+        parts = _keep_partitionings(
+            frozenset({frozenset(op.left_key_attrs()), frozenset(op.right_key_attrs())}),
+            props.writes,
+        )
+        return self._wrap(node, tuple(ships), LocalStrategy.SORT_COGROUP,
+                          None, (left, right), cost, parts)
+
+
+def optimize_physical(
+    body: Node,
+    ctx: PlanContext,
+    estimator: CardinalityEstimator,
+    params: CostParams,
+) -> PhysNode:
+    """Choose shipping and local strategies for one logical flow."""
+    return PhysicalOptimizer(ctx, estimator, params).optimize(body)

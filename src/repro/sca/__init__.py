@@ -1,0 +1,27 @@
+"""Static code analysis: TAC IR, CFG, data-flow chains, analyzer, bytecode
+front-end (the paper's Section 5 component, Soot replaced by ``dis``)."""
+
+from .analyzer import AnalysisEscape, analyze_tac
+from .api import analyze_udf
+from .cfg import BasicBlock, ControlFlowGraph
+from .chains import Chains, build_chains
+from .dataflow import ReachingDefinitions, reaching_definitions
+from .interp import execute_tac_udf
+from .pybytecode import compile_to_tac
+from .tac import TACFunction, parse_tac
+
+__all__ = [
+    "AnalysisEscape",
+    "BasicBlock",
+    "Chains",
+    "ControlFlowGraph",
+    "ReachingDefinitions",
+    "TACFunction",
+    "analyze_tac",
+    "analyze_udf",
+    "build_chains",
+    "compile_to_tac",
+    "execute_tac_udf",
+    "parse_tac",
+    "reaching_definitions",
+]

@@ -1,0 +1,556 @@
+"""The static property analyzer (Section 5 of the paper).
+
+Given a UDF in three-address code, this module conservatively derives:
+
+* the **read set** — ``getField`` results that are actually *used*
+  (a pure copy back to the same field does not count, exactly as the
+  paper's explicit-copy detection prescribes);
+* the **write set** — explicit modifications and projections plus the
+  implicit behavior of the output-record constructor used (implicit copy
+  vs. implicit projection vs. binary concatenation);
+* **emit cardinality bounds** per call, from the control flow graph
+  (an emit inside a cycle yields an unbounded upper bound);
+* **branch reads** — fields that influence control decisions, used for the
+  key-group-preservation condition (Definition 5).
+
+Safety is guaranteed through conservatism: any construct the analyzer
+cannot model precisely escalates — a dynamic field index widens the
+read/write set to "all fields", and a record escaping into an opaque call
+aborts the analysis entirely (the caller falls back to
+``conservative_properties``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.errors import AnalysisError
+from ..core.properties import (
+    EmitBounds,
+    FieldSet,
+    KatBehavior,
+    UdfProperties,
+)
+from ..core.udf import ParamKind
+from .cfg import ControlFlowGraph
+from .tac import (
+    Assign,
+    BinOp,
+    Call,
+    ConcatRec,
+    Const,
+    CopyRec,
+    Emit,
+    GetField,
+    GetItem,
+    Goto,
+    IfFalse,
+    IfTrue,
+    Instr,
+    IterNew,
+    IterNext,
+    Lit,
+    NewRec,
+    Operand,
+    Return,
+    SetField,
+    TACFunction,
+    UnOp,
+    Var,
+)
+
+
+class AnalysisEscape(AnalysisError):
+    """The UDF cannot be modeled; fall back to conservative properties."""
+
+
+# Abstract tags --------------------------------------------------------------
+#   ('rec', i)        input record of parameter i
+#   ('list', i)       the record-list parameter i
+#   ('iterlist', i)   an iterator over record-list i
+#   ('out', site)     output record created at instruction index `site`
+#   ('field', i, p)   the unmodified value of field p of input i (pure)
+#   ('taint', i, p)   a value derived from field p of input i
+#   ('taintall',)     a value derived from unknown fields
+
+Tag = tuple
+TAINT_ALL: Tag = ("taintall",)
+
+# Opaque calls that may receive a record *list* without forcing escape:
+# they depend only on the list structure, never on field values.
+_LIST_SAFE_CALLS = {"len"}
+
+
+@dataclass(slots=True)
+class _SiteState:
+    """Accumulated facts about one output-record creation site."""
+
+    kind: str  # 'copy' | 'proj' | 'concat'
+    # pos -> set of write kinds: 'modify' | 'project' | ('copy', i, p)
+    set_kinds: dict[int, set] = field(default_factory=dict)
+    set_instrs: dict[int, list[int]] = field(default_factory=dict)
+    dynamic_write: bool = False
+    emit_instrs: list[int] = field(default_factory=list)
+
+
+@dataclass(slots=True)
+class _State:
+    reads: set = field(default_factory=set)  # (i, p)
+    branch_reads: set = field(default_factory=set)
+    reads_all: bool = False
+    branch_reads_all: bool = False
+    sites: dict[int, _SiteState] = field(default_factory=dict)
+    emitted_inputs: bool = False  # some emit passes an input record through
+
+
+def _taints_of(tags: frozenset) -> set:
+    """Field-dependence tags (pure fields count as taints too)."""
+    out = set()
+    for t in tags:
+        if t[0] in ("field", "taint"):
+            out.add(("taint", t[1], t[2]))
+        elif t == TAINT_ALL:
+            out.add(TAINT_ALL)
+    return out
+
+
+def _record_like(tags: frozenset) -> bool:
+    return any(t[0] in ("rec", "list", "iterlist", "out") for t in tags)
+
+
+class _Analyzer:
+    def __init__(self, fn: TACFunction, param_kinds: tuple[ParamKind, ...]) -> None:
+        if len(fn.params) != len(param_kinds):
+            raise AnalysisEscape(
+                f"{fn.name}: {len(fn.params)} parameters but "
+                f"{len(param_kinds)} parameter kinds"
+            )
+        self.fn = fn
+        self.param_kinds = param_kinds
+        self.cfg = ControlFlowGraph(fn)
+        self.state = _State()
+
+    # -- helpers -------------------------------------------------------------
+
+    def _operand_tags(self, env: dict[str, frozenset], operand: Operand) -> frozenset:
+        if isinstance(operand, Lit):
+            return frozenset()
+        return env.get(operand.name, frozenset())
+
+    def _mark_read(self, tags: frozenset, branch: bool = False) -> None:
+        state = self.state
+        for t in _taints_of(tags):
+            if t == TAINT_ALL:
+                state.reads_all = True
+                if branch:
+                    state.branch_reads_all = True
+                continue
+            state.reads.add((t[1], t[2]))
+            if branch:
+                state.branch_reads.add((t[1], t[2]))
+
+    def _site(self, site: int) -> _SiteState:
+        try:
+            return self.state.sites[site]
+        except KeyError:  # pragma: no cover - defensive
+            raise AnalysisEscape(f"{self.fn.name}: unknown output record site")
+
+    # -- transfer function -----------------------------------------------------
+
+    def _transfer(self, idx: int, instr: Instr, env: dict[str, frozenset]) -> None:
+        fn_name = self.fn.name
+        state = self.state
+
+        if isinstance(instr, Const):
+            env[instr.dst] = frozenset()
+        elif isinstance(instr, Assign):
+            env[instr.dst] = self._operand_tags(env, instr.src)
+        elif isinstance(instr, (BinOp, UnOp)):
+            tags = frozenset()
+            for op in instr.used_operands():
+                tags |= frozenset(_taints_of(self._operand_tags(env, op)))
+                if _record_like(self._operand_tags(env, op)):
+                    raise AnalysisEscape(
+                        f"{fn_name}: record value used in arithmetic/comparison"
+                    )
+            env[instr.dst] = tags
+        elif isinstance(instr, GetField):
+            rec_tags = self._operand_tags(env, instr.rec)
+            result: set = set()
+            saw_record = False
+            for t in rec_tags:
+                if t[0] == "rec":
+                    saw_record = True
+                    if isinstance(instr.pos, Lit) and isinstance(instr.pos.value, int):
+                        result.add(("field", t[1], instr.pos.value))
+                    else:
+                        state.reads_all = True
+                        result.add(TAINT_ALL)
+                elif t[0] == "out":
+                    # Reading back from an output record: value may depend on
+                    # anything that flowed into it; stay conservative.
+                    saw_record = True
+                    state.reads_all = True
+                    result.add(TAINT_ALL)
+                elif t[0] in ("list", "iterlist"):
+                    raise AnalysisEscape(f"{fn_name}: getField on a record list")
+            if not saw_record:
+                raise AnalysisEscape(f"{fn_name}: getField on non-record value")
+            # A tainted position operand also influences which field is read.
+            pos_tags = self._operand_tags(env, instr.pos)
+            if pos_tags:
+                self._mark_read(pos_tags, branch=True)
+            env[instr.dst] = frozenset(result)
+        elif isinstance(instr, SetField):
+            rec_tags = self._operand_tags(env, instr.rec)
+            sites = [t[1] for t in rec_tags if t[0] == "out"]
+            if not sites:
+                raise AnalysisEscape(f"{fn_name}: setField on non-output record")
+            value_tags = self._operand_tags(env, instr.value)
+            if _record_like(value_tags):
+                raise AnalysisEscape(f"{fn_name}: record stored as a field value")
+            pos_is_static = isinstance(instr.pos, Lit) and isinstance(
+                instr.pos.value, int
+            )
+            for site in sites:
+                site_state = self._site(site)
+                if not pos_is_static:
+                    site_state.dynamic_write = True
+                    self._mark_read(self._operand_tags(env, instr.pos), branch=True)
+                    self._mark_read(value_tags)
+                    continue
+                pos = instr.pos.value
+                kinds = site_state.set_kinds.setdefault(pos, set())
+                site_state.set_instrs.setdefault(pos, []).append(idx)
+                if isinstance(instr.value, Lit) and instr.value.value is None:
+                    kinds.add("project")
+                else:
+                    pure = [t for t in value_tags if t[0] == "field"]
+                    others = [t for t in value_tags if t[0] != "field"]
+                    if len(pure) == 1 and not others:
+                        kinds.add(("copy", pure[0][1], pure[0][2]))
+                    else:
+                        kinds.add("modify")
+                        self._mark_read(value_tags)
+        elif isinstance(instr, CopyRec):
+            self._new_site(idx, instr.src, env, "copy")
+            env[instr.dst] = frozenset({("out", idx)})
+        elif isinstance(instr, NewRec):
+            self._new_site(idx, instr.src, env, "proj")
+            env[instr.dst] = frozenset({("out", idx)})
+        elif isinstance(instr, ConcatRec):
+            for operand in (instr.left, instr.right):
+                tags = self._operand_tags(env, operand)
+                if not any(t[0] == "rec" for t in tags):
+                    raise AnalysisEscape(f"{self.fn.name}: concat on non-record")
+            if idx not in self.state.sites:
+                self.state.sites[idx] = _SiteState(kind="concat")
+            env[instr.dst] = frozenset({("out", idx)})
+        elif isinstance(instr, Emit):
+            tags = self._operand_tags(env, instr.rec)
+            found = False
+            for t in tags:
+                if t[0] == "out":
+                    self._site(t[1]).emit_instrs.append(idx)
+                    found = True
+                elif t[0] == "rec":
+                    state.emitted_inputs = True
+                    found = True
+                elif t[0] in ("list", "iterlist"):
+                    raise AnalysisEscape(f"{fn_name}: emit of a record list")
+            if not found:
+                raise AnalysisEscape(f"{fn_name}: emit of a non-record value")
+        elif isinstance(instr, Call):
+            taints: set = set()
+            for arg in instr.args:
+                arg_tags = self._operand_tags(env, arg)
+                rec_tags = [t for t in arg_tags if t[0] in ("rec", "out", "iterlist")]
+                list_tags = [t for t in arg_tags if t[0] == "list"]
+                if rec_tags:
+                    raise AnalysisEscape(
+                        f"{fn_name}: record escapes into opaque call "
+                        f"{instr.func!r}"
+                    )
+                if list_tags and instr.func not in _LIST_SAFE_CALLS:
+                    raise AnalysisEscape(
+                        f"{fn_name}: record list escapes into opaque call "
+                        f"{instr.func!r}"
+                    )
+                taints |= _taints_of(arg_tags)
+            if instr.dst is not None:
+                env[instr.dst] = frozenset(taints)
+        elif isinstance(instr, GetItem):
+            seq_tags = self._operand_tags(env, instr.seq)
+            result: set = set()
+            for t in seq_tags:
+                if t[0] == "list":
+                    result.add(("rec", t[1]))
+                else:
+                    result |= _taints_of({t})
+            index_tags = self._operand_tags(env, instr.index)
+            if index_tags:
+                self._mark_read(index_tags, branch=True)
+            result |= _taints_of(seq_tags)
+            env[instr.dst] = frozenset(result)
+        elif isinstance(instr, IterNew):
+            src_tags = self._operand_tags(env, instr.src)
+            result = set()
+            for t in src_tags:
+                if t[0] == "list":
+                    result.add(("iterlist", t[1]))
+            taints = _taints_of(src_tags)
+            if taints:
+                # Iterating a value derived from fields: the iteration count
+                # (and hence emission) may depend on those fields.
+                self._mark_read(frozenset(taints), branch=True)
+                result |= taints
+            env[instr.dst] = frozenset(result)
+        elif isinstance(instr, IterNext):
+            it_tags = self._operand_tags(env, instr.iterator)
+            result = set()
+            for t in it_tags:
+                if t[0] == "iterlist":
+                    result.add(("rec", t[1]))
+                else:
+                    result |= _taints_of({t})
+            env[instr.dst] = frozenset(result)
+        elif isinstance(instr, (IfTrue, IfFalse)):
+            cond_tags = self._operand_tags(env, instr.cond)
+            # Branching on a record *list* is an emptiness test (common in
+            # CoGroup UDFs): it reads no field values and is safe.  Branching
+            # on a record itself cannot be modeled.
+            if any(t[0] in ("rec", "out") for t in cond_tags):
+                raise AnalysisEscape(f"{fn_name}: record used as branch condition")
+            self._mark_read(cond_tags, branch=True)
+        elif isinstance(instr, (Goto, Return)):
+            pass
+        else:  # pragma: no cover - defensive
+            raise AnalysisEscape(f"{fn_name}: cannot analyze {instr!r}")
+
+    def _new_site(
+        self, idx: int, src: Var, env: dict[str, frozenset], kind: str
+    ) -> None:
+        src_tags = self._operand_tags(env, src)
+        if not any(t[0] == "rec" for t in src_tags):
+            raise AnalysisEscape(
+                f"{self.fn.name}: record constructor on non-record value"
+            )
+        if idx not in self.state.sites:
+            self.state.sites[idx] = _SiteState(kind=kind)
+
+    # -- fixpoint ---------------------------------------------------------------
+
+    def run(self) -> UdfProperties:
+        entry_env: dict[str, frozenset] = {}
+        for i, (param, kind) in enumerate(zip(self.fn.params, self.param_kinds)):
+            tag = ("rec", i) if kind is ParamKind.RECORD else ("list", i)
+            entry_env[param] = frozenset({tag})
+
+        n_blocks = len(self.cfg.blocks)
+        block_in: list[dict[str, frozenset] | None] = [None] * n_blocks
+        block_in[self.cfg.entry] = entry_env
+        worklist = [self.cfg.entry]
+        while worklist:
+            b = worklist.pop()
+            env = dict(block_in[b] or {})
+            for idx, instr in self.cfg.instructions_in_block(b):
+                self._transfer(idx, instr, env)
+            for s in self.cfg.blocks[b].successors:
+                merged = self._merge(block_in[s], env)
+                if merged is not None:
+                    block_in[s] = merged
+                    worklist.append(s)
+
+        return self._finish()
+
+    @staticmethod
+    def _merge(
+        existing: dict[str, frozenset] | None, incoming: dict[str, frozenset]
+    ) -> dict[str, frozenset] | None:
+        """Union-merge; returns the new env if it grew, else None."""
+        if existing is None:
+            return dict(incoming)
+        changed = False
+        merged = dict(existing)
+        for var, tags in incoming.items():
+            combined = merged.get(var, frozenset()) | tags
+            if combined != merged.get(var):
+                merged[var] = combined
+                changed = True
+        return merged if changed else None
+
+    # -- result assembly ---------------------------------------------------------
+
+    def _finish(self) -> UdfProperties:
+        state = self.state
+        modified: set[int] = set()
+        copies: set[tuple[int, int, int]] = set()
+        projected: FieldSet = FieldSet.empty()
+        dynamic = False
+
+        emitted_sites = [s for s in state.sites.values() if s.emit_instrs]
+        for site in emitted_sites:
+            if site.dynamic_write:
+                dynamic = True
+                continue
+            site_projected: set[int] = set()
+            for pos, kinds in site.set_kinds.items():
+                pure_copy = self._pure_copy(kinds)
+                if pure_copy is not None:
+                    always = self._always_set(site, pos)
+                    if site.kind == "proj" and not always:
+                        # Present on some paths (as an unchanged copy),
+                        # dropped on others: counts as projected.
+                        site_projected.add(pos)
+                    copies.add((pos, pure_copy[0], pure_copy[1]))
+                    continue
+                if kinds == {"project"}:
+                    site_projected.add(pos)
+                    continue
+                if "project" in kinds:
+                    site_projected.add(pos)
+                modified.add(pos)
+                if site.kind == "proj" and not self._always_set(site, pos):
+                    site_projected.add(pos)
+            if site.kind == "proj":
+                explicit = set(site.set_kinds)
+                projected = projected.union(FieldSet.all_except(*explicit))
+            projected = projected.union(FieldSet(frozenset(site_projected)))
+
+        reads = FieldSet(frozenset(state.reads))
+        if state.reads_all:
+            reads = FieldSet.all()
+        branch_reads = FieldSet(frozenset(state.branch_reads))
+        if state.branch_reads_all:
+            branch_reads = FieldSet.all()
+
+        writes_modified = FieldSet(frozenset(modified))
+        if dynamic:
+            writes_modified = FieldSet.all()
+
+        bounds = self._emit_bounds()
+        is_kat = any(k is ParamKind.RECORD_LIST for k in self.param_kinds)
+        if is_kat:
+            kat = (
+                KatBehavior.ONE_PER_GROUP
+                if bounds.exactly_one
+                else KatBehavior.ARBITRARY
+            )
+        else:
+            kat = KatBehavior.NOT_KAT
+
+        return UdfProperties(
+            reads=reads,
+            branch_reads=branch_reads,
+            writes_modified=writes_modified,
+            writes_projected=projected,
+            copies=frozenset(copies),
+            emit_bounds=bounds,
+            kat_behavior=kat,
+            origin="sca",
+        )
+
+    @staticmethod
+    def _pure_copy(kinds: set) -> tuple[int, int] | None:
+        """If the position is only ever a copy from one source field,
+        return (input_index, input_pos)."""
+        if len(kinds) != 1:
+            return None
+        (kind,) = kinds
+        if isinstance(kind, tuple) and kind[0] == "copy":
+            return (kind[1], kind[2])
+        return None
+
+    def _always_set(self, site: _SiteState, pos: int) -> bool:
+        """True if some setField of ``pos`` dominates every emit of the site."""
+        set_instrs = site.set_instrs.get(pos, [])
+        if not set_instrs or not site.emit_instrs:
+            return False
+        for e in site.emit_instrs:
+            if not any(self.cfg.instr_dominates(d, e) for d in set_instrs):
+                return False
+        return True
+
+    # -- emit cardinality bounds ----------------------------------------------
+
+    def _emit_bounds(self) -> EmitBounds:
+        cfg = self.cfg
+        instrs = self.fn.instructions
+        emits_in_block = [
+            sum(
+                1
+                for i in block.instruction_indices()
+                if isinstance(instrs[i], Emit)
+            )
+            for block in cfg.blocks
+        ]
+        sccs = cfg.sccs()
+        n_sccs = len(sccs)
+        scc_emits = [sum(emits_in_block[b] for b in scc) for scc in sccs]
+        cyclic = [cfg.scc_is_cyclic(i) for i in range(n_sccs)]
+
+        # Condensation edges.
+        succs: list[set[int]] = [set() for _ in range(n_sccs)]
+        for block in cfg.blocks:
+            s_from = cfg.scc_of(block.index)
+            for nb in block.successors:
+                s_to = cfg.scc_of(nb)
+                if s_to != s_from:
+                    succs[s_from].add(s_to)
+
+        entry_scc = cfg.scc_of(cfg.entry)
+        exit_sccs = {cfg.scc_of(b) for b in cfg.exit_blocks}
+
+        # Topological order via DFS (condensation is a DAG).
+        order: list[int] = []
+        seen = [False] * n_sccs
+        stack = [(entry_scc, 0)]
+        seen[entry_scc] = True
+        succ_lists = [sorted(s) for s in succs]
+        while stack:
+            v, pi = stack[-1]
+            if pi < len(succ_lists[v]):
+                stack[-1] = (v, pi + 1)
+                w = succ_lists[v][pi]
+                if not seen[w]:
+                    seen[w] = True
+                    stack.append((w, 0))
+            else:
+                order.append(v)
+                stack.pop()
+        order.reverse()
+
+        INF = float("inf")
+        min_to = [INF] * n_sccs
+        max_to = [-1.0] * n_sccs  # -1 == unreachable
+
+        def scc_min(i: int) -> float:
+            return 0 if cyclic[i] else scc_emits[i]
+
+        def scc_max(i: int) -> float:
+            if cyclic[i]:
+                return INF if scc_emits[i] > 0 else 0
+            return scc_emits[i]
+
+        min_to[entry_scc] = scc_min(entry_scc)
+        max_to[entry_scc] = scc_max(entry_scc)
+        for v in order:
+            if max_to[v] < 0:
+                continue
+            for w in succs[v]:
+                min_to[w] = min(min_to[w], min_to[v] + scc_min(w))
+                max_to[w] = max(max_to[w], max_to[v] + scc_max(w))
+
+        lo_candidates = [min_to[s] for s in exit_sccs if max_to[s] >= 0]
+        hi_candidates = [max_to[s] for s in exit_sccs if max_to[s] >= 0]
+        if not lo_candidates:
+            return EmitBounds(0, None)
+        lo = int(min(lo_candidates))
+        hi_val = max(hi_candidates)
+        hi = None if hi_val == INF else int(hi_val)
+        return EmitBounds(lo, hi)
+
+
+def analyze_tac(fn: TACFunction, param_kinds: tuple[ParamKind, ...]) -> UdfProperties:
+    """Analyze a TAC UDF; raises :class:`AnalysisEscape` when unmodelable."""
+    return _Analyzer(fn, param_kinds).run()

@@ -1,0 +1,31 @@
+"""Public entry point of the static code analysis component."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.errors import AnalysisError, UnsupportedBytecode
+from ..core.properties import UdfProperties, conservative_properties
+from ..core.udf import ParamKind
+from .analyzer import AnalysisEscape, analyze_tac
+from .pybytecode import compile_to_tac
+from .tac import TACFunction
+
+
+def analyze_udf(fn: Any, param_kinds: tuple[ParamKind, ...]) -> UdfProperties:
+    """Derive black-box properties for a UDF (Section 5).
+
+    Accepts either a plain Python function (translated from bytecode) or a
+    :class:`TACFunction`.  Never raises for unanalyzable code: the result
+    degrades to the conservative read-all/write-all properties, exactly as
+    the paper's safety argument requires.
+    """
+    try:
+        if isinstance(fn, TACFunction):
+            return analyze_tac(fn, param_kinds)
+        tac_fn = compile_to_tac(fn, param_kinds)
+        return analyze_tac(tac_fn, param_kinds)
+    except (UnsupportedBytecode, AnalysisEscape) as exc:
+        return conservative_properties(str(exc))
+    except AnalysisError as exc:
+        return conservative_properties(f"analysis error: {exc}")

@@ -1,0 +1,206 @@
+"""Control-flow graph construction over TAC functions.
+
+Provides basic blocks, successor/predecessor edges, dominator computation
+(used to decide whether a ``setField`` dominates every ``emit`` of a
+record), and strongly-connected components (used for emit-cardinality
+bounds: an emit inside a cycle means an unbounded upper emit count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .tac import Goto, Instr, Return, TACFunction, falls_through, jump_targets
+
+
+@dataclass(slots=True)
+class BasicBlock:
+    index: int
+    start: int  # first instruction index (inclusive)
+    end: int  # last instruction index (inclusive)
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    def instruction_indices(self) -> range:
+        return range(self.start, self.end + 1)
+
+
+class ControlFlowGraph:
+    """CFG of one TAC function, with dominators and SCCs on demand."""
+
+    def __init__(self, fn: TACFunction) -> None:
+        self.fn = fn
+        self.blocks: list[BasicBlock] = []
+        self.block_of_instr: dict[int, int] = {}
+        self.entry: int = 0
+        self.exit_blocks: list[int] = []
+        self._build()
+        self._dominators: list[set[int]] | None = None
+        self._sccs: list[set[int]] | None = None
+        self._scc_of: dict[int, int] | None = None
+
+    # -- construction -------------------------------------------------------
+
+    def _build(self) -> None:
+        instrs = self.fn.instructions
+        n = len(instrs)
+        if n == 0:
+            self.blocks = [BasicBlock(0, 0, -1)]
+            self.exit_blocks = [0]
+            return
+        leaders: set[int] = {0}
+        for i, instr in enumerate(instrs):
+            targets = jump_targets(instr)
+            for t in targets:
+                if t < n:
+                    leaders.add(t)
+            if targets or isinstance(instr, (Goto, Return)):
+                if i + 1 < n:
+                    leaders.add(i + 1)
+        ordered = sorted(leaders)
+        for bi, start in enumerate(ordered):
+            end = (ordered[bi + 1] - 1) if bi + 1 < len(ordered) else n - 1
+            block = BasicBlock(bi, start, end)
+            self.blocks.append(block)
+            for ii in range(start, end + 1):
+                self.block_of_instr[ii] = bi
+
+        for block in self.blocks:
+            last = instrs[block.end]
+            succs: set[int] = set()
+            for t in jump_targets(last):
+                if t < n:
+                    succs.add(self.block_of_instr[t])
+                # a jump to index n is an implicit return
+            if falls_through(last) and block.end + 1 < n:
+                succs.add(self.block_of_instr[block.end + 1])
+            block.successors = sorted(succs)
+            is_exit = isinstance(last, Return)
+            if falls_through(last) and block.end + 1 >= n:
+                is_exit = True
+            if any(t >= n for t in jump_targets(last)):
+                is_exit = True
+            if is_exit:
+                self.exit_blocks.append(block.index)
+        for block in self.blocks:
+            for s in block.successors:
+                self.blocks[s].predecessors.append(block.index)
+        if not self.exit_blocks:
+            # Degenerate infinite loop; treat every block as a possible exit
+            # to stay conservative rather than failing.
+            self.exit_blocks = [b.index for b in self.blocks]
+
+    # -- dominators -----------------------------------------------------------
+
+    def dominators(self) -> list[set[int]]:
+        """dominators()[b] = set of blocks dominating block b (incl. b)."""
+        if self._dominators is not None:
+            return self._dominators
+        n = len(self.blocks)
+        all_blocks = set(range(n))
+        dom: list[set[int]] = [all_blocks.copy() for _ in range(n)]
+        dom[self.entry] = {self.entry}
+        changed = True
+        while changed:
+            changed = False
+            for b in range(n):
+                if b == self.entry:
+                    continue
+                preds = self.blocks[b].predecessors
+                if preds:
+                    new = set.intersection(*(dom[p] for p in preds)) | {b}
+                else:
+                    new = {b}
+                if new != dom[b]:
+                    dom[b] = new
+                    changed = True
+        self._dominators = dom
+        return dom
+
+    def instr_dominates(self, a: int, b: int) -> bool:
+        """True if instruction ``a`` executes on every path reaching ``b``."""
+        ba, bb = self.block_of_instr[a], self.block_of_instr[b]
+        if ba == bb:
+            return a <= b
+        return ba in self.dominators()[bb]
+
+    # -- strongly connected components ---------------------------------------
+
+    def sccs(self) -> list[set[int]]:
+        """SCCs of the block graph (iterative Tarjan)."""
+        if self._sccs is not None:
+            return self._sccs
+        n = len(self.blocks)
+        index_counter = [0]
+        stack: list[int] = []
+        lowlink = [0] * n
+        index = [-1] * n
+        on_stack = [False] * n
+        result: list[set[int]] = []
+
+        for start in range(n):
+            if index[start] != -1:
+                continue
+            work = [(start, 0)]
+            while work:
+                v, pi = work[-1]
+                if pi == 0:
+                    index[v] = lowlink[v] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(v)
+                    on_stack[v] = True
+                recurse = False
+                succs = self.blocks[v].successors
+                while pi < len(succs):
+                    w = succs[pi]
+                    pi += 1
+                    if index[w] == -1:
+                        work[-1] = (v, pi)
+                        work.append((w, 0))
+                        recurse = True
+                        break
+                    if on_stack[w]:
+                        lowlink[v] = min(lowlink[v], index[w])
+                if recurse:
+                    continue
+                work[-1] = (v, pi)
+                if pi >= len(succs):
+                    if lowlink[v] == index[v]:
+                        scc: set[int] = set()
+                        while True:
+                            w = stack.pop()
+                            on_stack[w] = False
+                            scc.add(w)
+                            if w == v:
+                                break
+                        result.append(scc)
+                    work.pop()
+                    if work:
+                        parent = work[-1][0]
+                        lowlink[parent] = min(lowlink[parent], lowlink[v])
+        self._sccs = result
+        self._scc_of = {}
+        for i, scc in enumerate(result):
+            for b in scc:
+                self._scc_of[b] = i
+        return result
+
+    def scc_of(self, block: int) -> int:
+        self.sccs()
+        assert self._scc_of is not None
+        return self._scc_of[block]
+
+    def scc_is_cyclic(self, scc_index: int) -> bool:
+        scc = self.sccs()[scc_index]
+        if len(scc) > 1:
+            return True
+        (b,) = scc
+        return b in self.blocks[b].successors
+
+    # -- convenience -----------------------------------------------------------
+
+    def instructions_in_block(self, block_index: int) -> list[tuple[int, Instr]]:
+        block = self.blocks[block_index]
+        return [
+            (i, self.fn.instructions[i]) for i in block.instruction_indices()
+        ]

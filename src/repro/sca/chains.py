@@ -1,0 +1,53 @@
+"""USE-DEF and DEF-USE chains over TAC functions (Section 5).
+
+``USE-DEF(l, $t)`` is the list of definitions of ``$t`` reaching statement
+``l``; ``DEF-USE(l, $t)`` is the list of uses of the value defined at ``l``.
+The analyzer uses these exactly as the paper describes: e.g. a field read
+enters the read set only if the temporary produced by ``getField`` has
+uses, and explicit copies are recognized by chasing a ``setField`` value
+back to its defining ``getField``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cfg import ControlFlowGraph
+from .dataflow import Definition, reaching_definitions
+from .tac import TACFunction, Var
+
+
+@dataclass(slots=True)
+class Chains:
+    fn: TACFunction
+    use_def: dict[tuple[int, str], frozenset[Definition]] = field(default_factory=dict)
+    def_use: dict[Definition, frozenset[int]] = field(default_factory=dict)
+
+    def uses_of(self, def_index: int, var: str) -> frozenset[int]:
+        return self.def_use.get((def_index, var), frozenset())
+
+    def defs_for(self, use_index: int, var: str) -> frozenset[Definition]:
+        return self.use_def.get((use_index, var), frozenset())
+
+
+def build_chains(cfg: ControlFlowGraph) -> Chains:
+    fn = cfg.fn
+    reaching = reaching_definitions(cfg)
+    use_def: dict[tuple[int, str], set[Definition]] = {}
+    def_use: dict[Definition, set[int]] = {}
+
+    for i, instr in enumerate(fn.instructions):
+        for operand in instr.used_operands():
+            if not isinstance(operand, Var):
+                continue
+            var = operand.name
+            defs = {d for d in reaching.reach_in[i] if d[1] == var}
+            use_def.setdefault((i, var), set()).update(defs)
+            for d in defs:
+                def_use.setdefault(d, set()).add(i)
+
+    return Chains(
+        fn,
+        {k: frozenset(v) for k, v in use_def.items()},
+        {k: frozenset(v) for k, v in def_use.items()},
+    )

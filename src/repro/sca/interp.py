@@ -1,0 +1,190 @@
+"""Executable semantics for TAC functions.
+
+TAC UDFs are not just analyzable — they run.  This lets tests validate the
+static analyzer against *observed* behavior (the soundness property of
+Section 5: discovered property sets must be supersets of the true ones) and
+lets whole data flows be authored in the paper's three-address notation.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..core.errors import ExecutionError, UdfError
+from ..core.record import Collector, InputRecord, OutputRecord
+from .tac import (
+    Assign,
+    BinOp,
+    Call,
+    ConcatRec,
+    Const,
+    CopyRec,
+    Emit,
+    GetField,
+    GetItem,
+    Goto,
+    IfFalse,
+    IfTrue,
+    IterNew,
+    IterNext,
+    Lit,
+    NewRec,
+    Operand,
+    Return,
+    SetField,
+    TACFunction,
+    UnOp,
+    Var,
+)
+
+_BINOPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "//": lambda a, b: a // b,
+    "%": lambda a, b: a % b,
+    "**": lambda a, b: a**b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b,
+    ">>": lambda a, b: a >> b,
+    "and": lambda a, b: a and b,
+    "or": lambda a, b: a or b,
+    "is": lambda a, b: a is b,
+    "is not": lambda a, b: a is not b,
+    "in": lambda a, b: a in b,
+    "not in": lambda a, b: a not in b,
+}
+
+_UNOPS = {
+    "neg": lambda a: -a,
+    "not": lambda a: not a,
+    "pos": lambda a: +a,
+    "invert": lambda a: ~a,
+}
+
+SAFE_BUILTINS: dict[str, Any] = {
+    "len": len,
+    "abs": abs,
+    "min": min,
+    "max": max,
+    "sum": sum,
+    "int": int,
+    "float": float,
+    "str": str,
+    "bool": bool,
+    "round": round,
+    "range": range,
+    "tuple": tuple,
+}
+
+
+def execute_tac_udf(
+    fn: TACFunction,
+    record_args: tuple[Any, ...],
+    collector: Collector,
+    max_steps: int = 200_000,
+) -> None:
+    """Run a TAC UDF over wrapped record arguments, emitting to a collector."""
+    if len(record_args) != len(fn.params):
+        raise UdfError(
+            f"{fn.name}: expected {len(fn.params)} record arguments, got "
+            f"{len(record_args)}"
+        )
+    env: dict[str, Any] = dict(zip(fn.params, record_args))
+    instrs = fn.instructions
+    n = len(instrs)
+    pc = 0
+    steps = 0
+
+    def val(operand: Operand) -> Any:
+        if isinstance(operand, Lit):
+            return operand.value
+        try:
+            return env[operand.name]
+        except KeyError:
+            raise ExecutionError(
+                f"{fn.name}: variable {operand.name} used before assignment"
+            ) from None
+
+    while pc < n:
+        steps += 1
+        if steps > max_steps:
+            raise ExecutionError(f"{fn.name}: exceeded {max_steps} interpreter steps")
+        instr = instrs[pc]
+        pc += 1
+        if isinstance(instr, Const):
+            env[instr.dst] = instr.value
+        elif isinstance(instr, Assign):
+            env[instr.dst] = val(instr.src)
+        elif isinstance(instr, BinOp):
+            try:
+                env[instr.dst] = _BINOPS[instr.op](val(instr.left), val(instr.right))
+            except KeyError:
+                raise ExecutionError(f"{fn.name}: unknown operator {instr.op!r}") from None
+        elif isinstance(instr, UnOp):
+            env[instr.dst] = _UNOPS[instr.op](val(instr.operand))
+        elif isinstance(instr, GetField):
+            rec = val(instr.rec)
+            if not isinstance(rec, (InputRecord, OutputRecord)):
+                raise ExecutionError(f"{fn.name}: getField on non-record value")
+            env[instr.dst] = rec.get_field(val(instr.pos))
+        elif isinstance(instr, SetField):
+            rec = val(instr.rec)
+            if not isinstance(rec, OutputRecord):
+                raise ExecutionError(f"{fn.name}: setField needs an output record")
+            rec.set_field(val(instr.pos), val(instr.value))
+        elif isinstance(instr, CopyRec):
+            rec = val(instr.src)
+            if not isinstance(rec, InputRecord):
+                raise ExecutionError(f"{fn.name}: copy() needs an input record")
+            env[instr.dst] = rec.copy()
+        elif isinstance(instr, NewRec):
+            rec = val(instr.src)
+            if not isinstance(rec, InputRecord):
+                raise ExecutionError(f"{fn.name}: new_record() needs an input record")
+            env[instr.dst] = rec.new_record()
+        elif isinstance(instr, ConcatRec):
+            left, right = val(instr.left), val(instr.right)
+            if not isinstance(left, InputRecord) or not isinstance(right, InputRecord):
+                raise ExecutionError(f"{fn.name}: concat() needs two input records")
+            env[instr.dst] = left.concat(right)
+        elif isinstance(instr, Emit):
+            collector.emit(val(instr.rec))
+        elif isinstance(instr, Call):
+            target = fn.env.get(instr.func, SAFE_BUILTINS.get(instr.func))
+            if target is None:
+                raise ExecutionError(f"{fn.name}: unknown call target {instr.func!r}")
+            result = target(*(val(a) for a in instr.args))
+            if instr.dst is not None:
+                env[instr.dst] = result
+        elif isinstance(instr, GetItem):
+            env[instr.dst] = val(instr.seq)[val(instr.index)]
+        elif isinstance(instr, IterNew):
+            env[instr.dst] = iter(val(instr.src))
+        elif isinstance(instr, IterNext):
+            iterator = val(instr.iterator)
+            try:
+                env[instr.dst] = next(iterator)
+            except StopIteration:
+                pc = instr.exhausted_target
+        elif isinstance(instr, IfTrue):
+            if val(instr.cond):
+                pc = instr.target
+        elif isinstance(instr, IfFalse):
+            if not val(instr.cond):
+                pc = instr.target
+        elif isinstance(instr, Goto):
+            pc = instr.target
+        elif isinstance(instr, Return):
+            return
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"{fn.name}: cannot execute {instr!r}")

@@ -1,0 +1,26 @@
+"""The four evaluation workloads of Section 7.2."""
+
+from .base import Workload, bind_rows, register_source, source_stats
+from .clickstream import build_clickstream
+from .textmining import build_textmining
+from .tpch_q15 import build_q15
+from .tpch_q7 import build_q7
+
+ALL_WORKLOADS = {
+    "tpch_q7": build_q7,
+    "tpch_q15": build_q15,
+    "clickstream": build_clickstream,
+    "textmining": build_textmining,
+}
+
+__all__ = [
+    "ALL_WORKLOADS",
+    "Workload",
+    "bind_rows",
+    "build_clickstream",
+    "build_q15",
+    "build_q7",
+    "build_textmining",
+    "register_source",
+    "source_stats",
+]

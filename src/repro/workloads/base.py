@@ -1,0 +1,67 @@
+"""Shared workload plumbing.
+
+A :class:`Workload` bundles everything one evaluation task needs: the
+implemented PACT plan, the catalog (statistics + integrity metadata), the
+bound source data, optimizer hints, and the *true* per-call UDF costs the
+simulated engine charges (hints and truth differ slightly, as they would
+with profiling-based hints on a real cluster).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from statistics import fmean
+
+from ..core.catalog import Catalog, SourceStats
+from ..core.plan import Node
+from ..core.record import RawRecord, value_bytes
+from ..core.schema import Attribute
+from ..optimizer.cardinality import Hints
+from ..optimizer.cost import CostParams
+
+
+@dataclass(slots=True)
+class Workload:
+    name: str
+    plan: Node  # implemented flow, sink at the root
+    catalog: Catalog
+    data: dict[str, list[RawRecord]]
+    hints: dict[str, Hints] = field(default_factory=dict)
+    true_costs: dict[str, float] = field(default_factory=dict)
+    sink_attrs: tuple[Attribute, ...] = ()
+    description: str = ""
+    # Cluster model used for this workload's experiments; tuned so the
+    # simulated absolute runtimes land on the paper's minute scale.
+    params: CostParams = field(default_factory=CostParams)
+
+
+def bind_rows(
+    rows: list[dict], columns: dict[str, Attribute]
+) -> list[RawRecord]:
+    """Convert generator rows (column-name keyed) to attribute-keyed records."""
+    return [{attr: row[col] for col, attr in columns.items()} for row in rows]
+
+
+def source_stats(
+    rows: list[RawRecord],
+    distinct_attrs: tuple[Attribute, ...] = (),
+) -> SourceStats:
+    """Measure row count, per-attribute widths, and requested distinct counts."""
+    stats = SourceStats(row_count=len(rows))
+    if not rows:
+        return stats
+    sample = rows[: min(len(rows), 500)]
+    for attr in sample[0]:
+        stats.attr_bytes[attr] = fmean(value_bytes(r[attr]) for r in sample)
+    for attr in distinct_attrs:
+        stats.distinct[attr] = len({r[attr] for r in rows})
+    return stats
+
+
+def register_source(
+    catalog: Catalog,
+    name: str,
+    rows: list[RawRecord],
+    distinct_attrs: tuple[Attribute, ...] = (),
+) -> None:
+    catalog.add_source(name, source_stats(rows, distinct_attrs))

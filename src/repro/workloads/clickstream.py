@@ -1,0 +1,216 @@
+"""The clickstream-processing task (Figure 4a).
+
+Extracts click sessions that led to a buy action and augments them with
+user details:
+
+    clicks -> Reduce "filter buy sessions"  (session key; all-or-nothing)
+           -> Reduce "condense sessions"    (session key; one record/group)
+           -> Match  "filter logged-in"     (session id = login.session id)
+           -> Match  "append user info"     (user id = users.user id)
+
+Both Reduce operators are non-relational UDFs.  The login join is
+*selective* (not every session is logged in), which is what makes pushing
+it below both Reduces profitable — the paper's headline non-relational
+optimization.
+
+For Table 1, ``filter_buy_sessions`` deliberately passes its record group
+to a helper predicate, so the *static analyzer* must fall back to
+conservative properties and loses the reorderings across that operator;
+the *manual annotations* describe it precisely.
+"""
+
+from __future__ import annotations
+
+from ..core.catalog import Catalog
+from ..core.operators import MatchOp, ReduceOp, Sink, Source
+from ..core.plan import node
+from ..core.properties import EmitBounds, FieldSet, KatBehavior, UdfProperties
+from ..core.schema import FieldMap, prefixed
+from ..core.udf import binary_udf, reduce_udf
+from ..datagen.clickstream import ClickScale, generate_clickstream
+from ..optimizer.cardinality import Hints
+from ..optimizer.cost import CostParams
+from .base import Workload, bind_rows, register_source
+
+# click fields: session_id(0), ip(1), ts(2), url(3), action(4)
+
+
+def _session_has_buy(records) -> bool:
+    """Helper predicate; receiving the record *group* makes the caller
+    unanalyzable (the records escape into an opaque call)."""
+    for r in records:
+        if r.get_field(4) == "buy":
+            return True
+    return False
+
+
+def filter_buy_sessions(records, out):
+    """Forward all clicks of sessions containing a buy action, or none."""
+    if _session_has_buy(records):
+        for r in records:
+            out.emit(r.copy())
+
+
+def condense_session(records, out):
+    """Merge a session's clicks into one record: click count (position 5),
+    first/last timestamp (6, 7)."""
+    count = 0
+    first_ts = -1
+    last_ts = -1
+    for r in records:
+        t = r.get_field(2)
+        count = count + 1
+        if first_ts < 0:
+            first_ts = t
+        if t < first_ts:
+            first_ts = t
+        if t > last_ts:
+            last_ts = t
+    head = records[0]
+    o = head.new_record()
+    o.set_field(0, head.get_field(0))
+    o.set_field(5, count)
+    o.set_field(6, first_ts)
+    o.set_field(7, last_ts)
+    out.emit(o)
+
+
+def join_login(session, login, out):
+    out.emit(session.concat(login))
+
+
+def join_user_info(session, user, out):
+    out.emit(session.concat(user))
+
+
+def _annotations() -> dict[str, UdfProperties]:
+    return {
+        "filter_buy_sessions": UdfProperties(
+            reads=FieldSet.of((0, 4)),
+            branch_reads=FieldSet.of((0, 4)),
+            emit_bounds=EmitBounds.unbounded(),
+            kat_behavior=KatBehavior.ALL_OR_NONE,
+        ),
+        "condense_sessions": UdfProperties(
+            reads=FieldSet.of((0, 2)),
+            writes_modified=FieldSet.of(5, 6, 7),
+            writes_projected=FieldSet.all_except(0, 5, 6, 7),
+            copies=frozenset({(0, 0, 0)}),
+            emit_bounds=EmitBounds.exactly(1),
+            kat_behavior=KatBehavior.ONE_PER_GROUP,
+        ),
+        "filter_logged_in": UdfProperties(emit_bounds=EmitBounds.exactly(1)),
+        "append_user_info": UdfProperties(emit_bounds=EmitBounds.exactly(1)),
+    }
+
+
+def build_clickstream(
+    scale: ClickScale | None = None, seed: int = 17
+) -> Workload:
+    click = prefixed("click", "session_id", "ip", "ts", "url", "action")
+    login = prefixed("login", "session_id", "user_id")
+    user = prefixed("user", "user_id", "name", "country", "signup_day")
+
+    clicks_src = Source("clicks", click)
+    logins_src = Source("logins", login)
+    users_src = Source("users", user)
+    ann = _annotations()
+
+    r_buy = ReduceOp(
+        "filter_buy_sessions",
+        reduce_udf(filter_buy_sessions, ann["filter_buy_sessions"]),
+        FieldMap(click),
+        key_positions=(0,),
+    )
+    r_condense = ReduceOp(
+        "condense_sessions",
+        reduce_udf(condense_session, ann["condense_sessions"]),
+        FieldMap(click),
+        key_positions=(0,),
+    )
+    click_count = r_condense.new_attr_factory.attr_for(5)
+    first_ts = r_condense.new_attr_factory.attr_for(6)
+    last_ts = r_condense.new_attr_factory.attr_for(7)
+
+    condensed = (click[0], click_count, first_ts, last_ts)
+    m_login = MatchOp(
+        "filter_logged_in",
+        binary_udf(join_login, ann["filter_logged_in"]),
+        FieldMap(condensed),
+        FieldMap(login),
+        (0,),
+        (0,),
+    )
+    with_login = condensed + login
+    m_user = MatchOp(
+        "append_user_info",
+        binary_udf(join_user_info, ann["append_user_info"]),
+        FieldMap(with_login),
+        FieldMap(user),
+        (with_login.index(login[1]),),
+        (0,),
+    )
+
+    flow = node(r_buy, node(clicks_src))
+    flow = node(r_condense, flow)
+    flow = node(m_login, flow, node(logins_src))
+    flow = node(m_user, flow, node(users_src))
+    sink_attrs = (click[0], click_count, first_ts, last_ts, user[1], user[2])
+    plan = node(Sink("sessions_out", sink_attrs), flow)
+
+    raw = generate_clickstream(scale, seed)
+    click_cols = dict(zip(("session_id", "ip", "ts", "url", "action"), click))
+    login_cols = dict(zip(("session_id", "user_id"), login))
+    user_cols = dict(zip(("user_id", "name", "country", "signup_day"), user))
+    data = {
+        "clicks": bind_rows(raw.clicks, click_cols),
+        "logins": bind_rows(raw.logins, login_cols),
+        "users": bind_rows(raw.users, user_cols),
+    }
+
+    catalog = Catalog()
+    register_source(catalog, "clicks", data["clicks"], (click[0],))
+    register_source(catalog, "logins", data["logins"], (login[0], login[1]))
+    register_source(catalog, "users", data["users"], (user[0],))
+    catalog.declare_unique(login[0])
+    catalog.declare_unique(user[0])
+    # Both references are deliberately non-total: not every session is
+    # logged in, not every user has an info record.
+    catalog.declare_reference((click[0],), (login[0],), total=False)
+    catalog.declare_reference((login[1],), (user[0],), total=False)
+
+    n_sessions = len({r[click[0]] for r in data["clicks"]})
+    hints = {
+        "filter_buy_sessions": Hints(
+            selectivity=2.5, cpu_per_call=3.0, distinct_keys=n_sessions
+        ),
+        "condense_sessions": Hints(
+            selectivity=1.0, cpu_per_call=4.0, distinct_keys=int(n_sessions * 0.4)
+        ),
+        "filter_logged_in": Hints(selectivity=1.0, cpu_per_call=1.0),
+        "append_user_info": Hints(selectivity=1.0, cpu_per_call=1.0),
+    }
+    true_costs = {
+        "filter_buy_sessions": 3.0,
+        "condense_sessions": 4.5,
+        "filter_logged_in": 1.0,
+        "append_user_info": 1.0,
+    }
+    params = CostParams(
+        degree=32,
+        cpu_rate=2.0,
+        net_bandwidth=9e2,
+        disk_bandwidth=2e4,
+        record_overhead=0.08,
+    )
+    return Workload(
+        name="clickstream",
+        plan=plan,
+        catalog=catalog,
+        data=data,
+        hints=hints,
+        true_costs=true_costs,
+        sink_attrs=sink_attrs,
+        description="Clickstream session extraction (Figure 4a): 2 non-relational Reduces + 2 selective Matches",
+        params=params,
+    )

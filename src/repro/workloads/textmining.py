@@ -1,0 +1,232 @@
+"""The biomedical text-mining task (Section 7.2).
+
+A pipeline of Map operators that detects gene-drug relationships in
+abstracts.  Each annotator calls a "third-party" NLP helper on *field
+values* (never on records), so the static analyzer derives precise
+properties — mirroring how the paper's Soot-based analyzer treats opaque
+library calls inside analyzable UDF shells.
+
+Dependencies (via read/write sets):
+
+    tokenize < pos_tag < {gene_ner, drug_ner, mesh_tagger, species_ner} <
+    relation_extract
+
+The four annotators between POS tagging and relation extraction are
+pairwise reorderable, giving 4! = 24 valid operator orders — the paper
+reports exactly 24 enumerated orders for this task.  Every annotator also
+filters (documents without a mention are dropped), so operator order
+changes runtime by roughly an order of magnitude.
+"""
+
+from __future__ import annotations
+
+from ..core.catalog import Catalog
+from ..core.operators import MapOp, Sink, Source
+from ..core.plan import node
+from ..core.properties import EmitBounds, FieldSet, UdfProperties
+from ..core.schema import FieldMap, prefixed
+from ..core.udf import map_udf
+from ..datagen.textcorpus import (
+    CorpusScale,
+    extract_relations,
+    find_drugs,
+    find_genes,
+    find_mesh_terms,
+    find_species,
+    generate_corpus,
+    pos_tag,
+    tokenize,
+)
+from ..optimizer.cardinality import Hints
+from ..optimizer.cost import CostParams
+from .base import Workload, bind_rows, register_source
+
+# doc fields: doc_id(0), text(1); derived: tokens(2), pos_tags(3),
+# genes(4), drugs(5), mesh(6), species(7), relations(8)
+
+
+def tokenize_doc(rec, out):
+    tokens = tokenize(rec.get_field(1))
+    r = rec.copy()
+    r.set_field(2, tokens)
+    out.emit(r)
+
+
+def pos_tag_doc(rec, out):
+    tags = pos_tag(rec.get_field(2))
+    r = rec.copy()
+    r.set_field(3, tags)
+    out.emit(r)
+
+
+def gene_ner(rec, out):
+    genes = find_genes(rec.get_field(2))
+    tags = rec.get_field(3)
+    if len(genes) == 0:
+        return
+    if len(tags) == 0:
+        return
+    r = rec.copy()
+    r.set_field(4, genes)
+    out.emit(r)
+
+
+def drug_ner(rec, out):
+    drugs = find_drugs(rec.get_field(2))
+    tags = rec.get_field(3)
+    if len(drugs) == 0:
+        return
+    if len(tags) == 0:
+        return
+    r = rec.copy()
+    r.set_field(5, drugs)
+    out.emit(r)
+
+
+def mesh_tagger(rec, out):
+    terms = find_mesh_terms(rec.get_field(2))
+    tags = rec.get_field(3)
+    if len(terms) == 0:
+        return
+    if len(tags) == 0:
+        return
+    r = rec.copy()
+    r.set_field(6, terms)
+    out.emit(r)
+
+
+def species_ner(rec, out):
+    species = find_species(rec.get_field(2))
+    tags = rec.get_field(3)
+    if len(species) == 0:
+        return
+    if len(tags) == 0:
+        return
+    r = rec.copy()
+    r.set_field(7, species)
+    out.emit(r)
+
+
+def relation_extract(rec, out):
+    relations = extract_relations(rec.get_field(4), rec.get_field(5))
+    context = rec.get_field(6)
+    habitat = rec.get_field(7)
+    if len(relations) == 0:
+        return
+    if len(context) == 0:
+        return
+    if len(habitat) == 0:
+        return
+    r = rec.copy()
+    r.set_field(8, relations)
+    out.emit(r)
+
+
+def _annotator_props(read_pos: tuple[int, ...], write_pos: int) -> UdfProperties:
+    return UdfProperties(
+        reads=FieldSet.of(*(((0, p)) for p in read_pos)),
+        branch_reads=FieldSet.of(*(((0, p)) for p in read_pos)),
+        writes_modified=FieldSet.of(write_pos),
+        emit_bounds=EmitBounds.at_most_one(),
+    )
+
+
+def _annotations() -> dict[str, UdfProperties]:
+    return {
+        "tokenize": UdfProperties(
+            reads=FieldSet.of((0, 1)),
+            writes_modified=FieldSet.of(2),
+            emit_bounds=EmitBounds.exactly(1),
+        ),
+        "pos_tag": UdfProperties(
+            reads=FieldSet.of((0, 2)),
+            writes_modified=FieldSet.of(3),
+            emit_bounds=EmitBounds.exactly(1),
+        ),
+        "gene_ner": _annotator_props((2, 3), 4),
+        "drug_ner": _annotator_props((2, 3), 5),
+        "mesh_tagger": _annotator_props((2, 3), 6),
+        "species_ner": _annotator_props((2, 3), 7),
+        "relation_extract": _annotator_props((4, 5, 6, 7), 8),
+    }
+
+
+def build_textmining(
+    scale: CorpusScale | None = None, seed: int = 31
+) -> Workload:
+    doc = prefixed("doc", "doc_id", "text")
+    docs_src = Source("documents", doc)
+    ann = _annotations()
+
+    t_op = MapOp("tokenize", map_udf(tokenize_doc, ann["tokenize"]), FieldMap(doc))
+    tokens = t_op.new_attr_factory.attr_for(2)
+    chain1 = doc + (tokens,)
+    p_op = MapOp("pos_tag", map_udf(pos_tag_doc, ann["pos_tag"]), FieldMap(chain1))
+    tags = p_op.new_attr_factory.attr_for(3)
+    chain2 = chain1 + (tags,)
+
+    g_op = MapOp("gene_ner", map_udf(gene_ner, ann["gene_ner"]), FieldMap(chain2))
+    genes = g_op.new_attr_factory.attr_for(4)
+    chain3 = chain2 + (genes,)
+    d_op = MapOp("drug_ner", map_udf(drug_ner, ann["drug_ner"]), FieldMap(chain3))
+    drugs = d_op.new_attr_factory.attr_for(5)
+    chain4 = chain3 + (drugs,)
+    m_op = MapOp("mesh_tagger", map_udf(mesh_tagger, ann["mesh_tagger"]), FieldMap(chain4))
+    mesh = m_op.new_attr_factory.attr_for(6)
+    chain5 = chain4 + (mesh,)
+    s_op = MapOp("species_ner", map_udf(species_ner, ann["species_ner"]), FieldMap(chain5))
+    species = s_op.new_attr_factory.attr_for(7)
+    chain6 = chain5 + (species,)
+    r_op = MapOp(
+        "relation_extract",
+        map_udf(relation_extract, ann["relation_extract"]),
+        FieldMap(chain6),
+    )
+    relations = r_op.new_attr_factory.attr_for(8)
+
+    flow = node(docs_src)
+    for op in (t_op, p_op, g_op, d_op, m_op, s_op, r_op):
+        flow = node(op, flow)
+    sink_attrs = (doc[0], genes, drugs, relations)
+    plan = node(Sink("relations_out", sink_attrs), flow)
+
+    raw = generate_corpus(scale, seed)
+    doc_cols = dict(zip(("doc_id", "text"), doc))
+    data = {"documents": bind_rows(raw.documents, doc_cols)}
+
+    catalog = Catalog()
+    register_source(catalog, "documents", data["documents"], (doc[0],))
+    catalog.declare_unique(doc[0])
+
+    # Hinted selectivities/costs approximate profiling measurements; the
+    # NER components are the expensive, machine-learning-backed stages.
+    hints = {
+        "tokenize": Hints(selectivity=1.0, cpu_per_call=2.0),
+        "pos_tag": Hints(selectivity=1.0, cpu_per_call=8.0),
+        "gene_ner": Hints(selectivity=0.30, cpu_per_call=780.0),
+        "drug_ner": Hints(selectivity=0.25, cpu_per_call=45.0),
+        "mesh_tagger": Hints(selectivity=0.50, cpu_per_call=4.0),
+        "species_ner": Hints(selectivity=0.40, cpu_per_call=165.0),
+        "relation_extract": Hints(selectivity=0.60, cpu_per_call=70.0),
+    }
+    true_costs = {
+        "tokenize": 2.0,
+        "pos_tag": 8.0,
+        "gene_ner": 850.0,
+        "drug_ner": 40.0,
+        "mesh_tagger": 3.0,
+        "species_ner": 180.0,
+        "relation_extract": 60.0,
+    }
+    params = CostParams(degree=32, cpu_rate=7.0, record_overhead=0.02)
+    return Workload(
+        name="textmining",
+        plan=plan,
+        catalog=catalog,
+        data=data,
+        hints=hints,
+        true_costs=true_costs,
+        sink_attrs=sink_attrs,
+        description="Biomedical text mining: NLP annotator pipeline with 24 valid orders",
+        params=params,
+    )

@@ -1,0 +1,165 @@
+"""TPC-H query 15 as a hand-crafted PACT data flow (Figure 3a).
+
+The paper's variant removes the total-revenue filter: a local predicate on
+lineitem (a 3-month shipdate window), grouping/summing revenue per
+supplier, and the join with the supplier relation:
+
+    supplier  M(s.suppkey = l.suppkey)  gamma(l.suppkey; sum revenue)
+                                         sigma_shipdate(lineitem)
+
+Reordering Match with Reduce here is the invariant grouping / aggregation
+push-up rewrite: it is legal because the join is PK-FK (s.suppkey unique)
+and the Reduce groups on the match key (Section 4.3.2 and the Q15
+discussion in Section 7.3).
+"""
+
+from __future__ import annotations
+
+from ..core.catalog import Catalog
+from ..core.operators import MapOp, MatchOp, ReduceOp, Sink, Source
+from ..core.plan import node
+from ..core.properties import EmitBounds, FieldSet, KatBehavior, UdfProperties
+from ..core.schema import FieldMap, prefixed
+from ..core.udf import binary_udf, map_udf, reduce_udf
+from ..datagen.tpch import TpchScale, generate_tpch
+from ..optimizer.cardinality import Hints
+from ..optimizer.cost import CostParams
+from .base import Workload, bind_rows, register_source
+
+# Three-month shipdate window (paper: [DATE, DATE + 3 months]).
+Q15_DATE_A = 1460
+Q15_DATE_B = 1551
+
+
+def select_shipdate_q15(rec, out):
+    """Filter lineitems on the window; derive revenue (position 5)."""
+    d = rec.get_field(4)
+    if d < Q15_DATE_A:
+        return
+    if d > Q15_DATE_B:
+        return
+    r = rec.copy()
+    r.set_field(5, rec.get_field(2) * (100 - rec.get_field(3)))
+    out.emit(r)
+
+
+def sum_revenue(records, out):
+    """Group lineitems by suppkey and total the revenue (position 6)."""
+    total = 0
+    for r in records:
+        total = total + r.get_field(5)
+    first = records[0]
+    o = first.new_record()
+    o.set_field(1, first.get_field(1))
+    o.set_field(6, total)
+    out.emit(o)
+
+
+def join_supplier(sup, rev, out):
+    out.emit(sup.concat(rev))
+
+
+def _annotations() -> dict[str, UdfProperties]:
+    return {
+        "sigma_shipdate_q15": UdfProperties(
+            reads=FieldSet.of((0, 2), (0, 3), (0, 4)),
+            branch_reads=FieldSet.of((0, 4)),
+            writes_modified=FieldSet.of(5),
+            emit_bounds=EmitBounds.at_most_one(),
+        ),
+        "gamma_supplier_revenue": UdfProperties(
+            reads=FieldSet.of((0, 5)),
+            writes_modified=FieldSet.of(6),
+            writes_projected=FieldSet.all_except(1, 6),
+            copies=frozenset({(1, 0, 1)}),
+            emit_bounds=EmitBounds.exactly(1),
+            kat_behavior=KatBehavior.ONE_PER_GROUP,
+        ),
+        "join_s_rev": UdfProperties(emit_bounds=EmitBounds.exactly(1)),
+    }
+
+
+def build_q15(scale: TpchScale | None = None, seed: int = 43) -> Workload:
+    li = prefixed("l", "orderkey", "suppkey", "extendedprice", "discount", "shipdate")
+    s = prefixed("s", "suppkey", "name", "nationkey")
+
+    lineitem = Source("lineitem", li)
+    supplier = Source("supplier", s)
+    ann = _annotations()
+
+    sigma = MapOp(
+        "sigma_shipdate_q15",
+        map_udf(select_shipdate_q15, ann["sigma_shipdate_q15"]),
+        FieldMap(li),
+    )
+    revenue_attr = sigma.new_attr_factory.attr_for(5)
+    chain1 = li + (revenue_attr,)
+
+    gamma = ReduceOp(
+        "gamma_supplier_revenue",
+        reduce_udf(sum_revenue, ann["gamma_supplier_revenue"]),
+        FieldMap(chain1),
+        key_positions=(1,),
+    )
+    total_revenue = gamma.new_attr_factory.attr_for(6)
+    chain2 = chain1 + (total_revenue,)
+
+    match = MatchOp(
+        "join_s_rev",
+        binary_udf(join_supplier, ann["join_s_rev"]),
+        FieldMap(s),
+        FieldMap(chain2),
+        (0,),
+        (1,),
+    )
+
+    flow = node(
+        match,
+        node(supplier),
+        node(gamma, node(sigma, node(lineitem))),
+    )
+    sink_attrs = (s[0], s[1], total_revenue)
+    plan = node(Sink("q15_out", sink_attrs), flow)
+
+    raw = generate_tpch(scale, seed)
+    li_cols = dict(zip(("orderkey", "suppkey", "extendedprice", "discount", "shipdate"), li))
+    s_cols = dict(zip(("suppkey", "name", "nationkey"), s))
+    data = {
+        "lineitem": bind_rows(raw.lineitem, li_cols),
+        "supplier": bind_rows(raw.supplier, s_cols),
+    }
+
+    catalog = Catalog()
+    register_source(catalog, "lineitem", data["lineitem"], (li[1], li[4]))
+    register_source(catalog, "supplier", data["supplier"], (s[0],))
+    catalog.declare_unique(s[0])
+    catalog.declare_reference((li[1],), (s[0],), total=True)
+
+    hints = {
+        "sigma_shipdate_q15": Hints(selectivity=0.05, cpu_per_call=2.0),
+        "gamma_supplier_revenue": Hints(distinct_keys=100, cpu_per_call=2.0),
+        "join_s_rev": Hints(cpu_per_call=1.0),
+    }
+    true_costs = {
+        "sigma_shipdate_q15": 2.0,
+        "gamma_supplier_revenue": 2.5,
+        "join_s_rev": 1.2,
+    }
+    params = CostParams(
+        degree=32,
+        cpu_rate=100.0,
+        net_bandwidth=1e3,
+        disk_bandwidth=2e4,
+        record_overhead=0.05,
+    )
+    return Workload(
+        name="tpch_q15",
+        plan=plan,
+        catalog=catalog,
+        data=data,
+        hints=hints,
+        true_costs=true_costs,
+        sink_attrs=sink_attrs,
+        description="TPC-H Q15 variant (Figure 3a): filter + per-supplier aggregation + PK-FK join",
+        params=params,
+    )

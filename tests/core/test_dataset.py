@@ -1,0 +1,81 @@
+"""Bag semantics and dataset equality (Section 2.2)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import (
+    attrs,
+    bag_of,
+    canonical_record,
+    datasets_approx_equal,
+    datasets_equal,
+    project,
+    projected_equal,
+)
+
+A, B = attrs("a", "b")
+
+
+class TestCanonical:
+    def test_order_independent(self):
+        assert canonical_record({A: 1, B: 2}) == canonical_record({B: 2, A: 1})
+
+    def test_nested_values(self):
+        assert canonical_record({A: [1, 2]}) == canonical_record({A: (1, 2)})
+
+    def test_dict_values(self):
+        left = canonical_record({A: {"x": 1, "y": 2}})
+        right = canonical_record({A: {"y": 2, "x": 1}})
+        assert left == right
+
+
+class TestBagEquality:
+    def test_permutation_equal(self):
+        left = [{A: 1}, {A: 2}, {A: 2}]
+        right = [{A: 2}, {A: 1}, {A: 2}]
+        assert datasets_equal(left, right)
+
+    def test_multiplicity_matters(self):
+        assert not datasets_equal([{A: 1}], [{A: 1}, {A: 1}])
+
+    def test_value_matters(self):
+        assert not datasets_equal([{A: 1}], [{A: 2}])
+
+    @given(st.lists(st.integers(0, 3), max_size=6), st.randoms())
+    def test_shuffle_invariance(self, values, rng):
+        rows = [{A: v} for v in values]
+        shuffled = list(rows)
+        rng.shuffle(shuffled)
+        assert datasets_equal(rows, shuffled)
+
+    def test_bag_of_counts(self):
+        bag = bag_of([{A: 1}, {A: 1}, {A: 2}])
+        assert sum(bag.values()) == 3
+        assert len(bag) == 2
+
+
+class TestProjection:
+    def test_project_keeps_wanted(self):
+        rows = [{A: 1, B: 2}]
+        assert project(rows, (A,)) == [{A: 1}]
+
+    def test_project_skips_missing(self):
+        rows = [{A: 1}]
+        assert project(rows, (A, B)) == [{A: 1}]
+
+    def test_projected_equal_ignores_passthrough(self):
+        left = [{A: 1, B: 99}]
+        right = [{A: 1}]
+        assert projected_equal(left, right, (A,))
+        assert not projected_equal(left, right, (A, B))
+
+
+class TestApproxEquality:
+    def test_float_summation_order_tolerated(self):
+        left = [{A: 0.1 + 0.2}]
+        right = [{A: 0.3}]
+        assert not datasets_equal(left, right)
+        assert datasets_approx_equal(left, right)
+
+    def test_real_differences_detected(self):
+        assert not datasets_approx_equal([{A: 1.0}], [{A: 1.5}])

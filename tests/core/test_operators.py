@@ -1,0 +1,143 @@
+"""Operator construction and property binding (positions -> attributes)."""
+
+import pytest
+
+from repro.core import (
+    AnnotationMode,
+    EmitBounds,
+    FieldMap,
+    FieldSet,
+    MapOp,
+    MatchOp,
+    PlanError,
+    ReduceOp,
+    Source,
+    UdfProperties,
+    attrs,
+    binary_udf,
+    map_udf,
+    reduce_udf,
+)
+from tests.conftest import concat_udf, identity_udf, paper_f2
+
+AB = attrs("i.a", "i.b")
+CD = attrs("j.c", "j.d")
+
+
+class TestConstruction:
+    def test_source_needs_schema(self):
+        with pytest.raises(Exception):
+            Source("s", ())
+
+    def test_map_wrong_udf_kind(self):
+        with pytest.raises(PlanError):
+            MapOp("m", reduce_udf(identity_udf), FieldMap(AB))
+
+    def test_reduce_needs_keys(self):
+        with pytest.raises(PlanError):
+            ReduceOp("r", reduce_udf(identity_udf), FieldMap(AB), ())
+
+    def test_match_key_arity_mismatch(self):
+        with pytest.raises(PlanError):
+            MatchOp("m", binary_udf(concat_udf), FieldMap(AB), FieldMap(CD), (0, 1), (0,))
+
+
+class TestBinding:
+    def test_manual_reads_bound_to_attrs(self):
+        props = UdfProperties(reads=FieldSet.of((0, 1)), emit_bounds=EmitBounds.exactly(1))
+        op = MapOp("m", map_udf(identity_udf, props), FieldMap(AB))
+        bound = op.bound_props(AnnotationMode.MANUAL)
+        assert bound.reads == frozenset({AB[1]})
+        assert bound.writes == frozenset()
+
+    def test_new_positions_become_new_attrs(self):
+        props = UdfProperties(
+            writes_modified=FieldSet.of(5), emit_bounds=EmitBounds.exactly(1)
+        )
+        op = MapOp("m", map_udf(identity_udf, props), FieldMap(AB))
+        bound = op.bound_props(AnnotationMode.MANUAL)
+        assert {a.name for a in bound.new_attrs} == {"m.f5"}
+        assert bound.new_attrs <= bound.writes
+
+    def test_projection_resolved_against_width(self):
+        props = UdfProperties(
+            writes_projected=FieldSet.all_except(0),
+            emit_bounds=EmitBounds.exactly(1),
+        )
+        op = MapOp("m", map_udf(identity_udf, props), FieldMap(AB))
+        bound = op.bound_props(AnnotationMode.MANUAL)
+        assert bound.projected == frozenset({AB[1]})
+
+    def test_copy_to_same_attr_is_neither_read_nor_write(self):
+        props = UdfProperties(
+            copies=frozenset({(0, 0, 0)}), emit_bounds=EmitBounds.exactly(1)
+        )
+        op = MapOp("m", map_udf(identity_udf, props), FieldMap(AB))
+        bound = op.bound_props(AnnotationMode.MANUAL)
+        assert bound.reads == frozenset()
+        assert bound.writes == frozenset()
+
+    def test_copy_to_other_position_is_read_plus_write(self):
+        props = UdfProperties(
+            copies=frozenset({(1, 0, 0)}), emit_bounds=EmitBounds.exactly(1)
+        )
+        op = MapOp("m", map_udf(identity_udf, props), FieldMap(AB))
+        bound = op.bound_props(AnnotationMode.MANUAL)
+        assert bound.reads == frozenset({AB[0]})
+        assert bound.modified == frozenset({AB[1]})
+
+    def test_sca_mode_derives_from_bytecode(self):
+        op = MapOp("m", map_udf(paper_f2), FieldMap(AB))
+        bound = op.bound_props(AnnotationMode.SCA)
+        assert bound.reads == frozenset({AB[0]})
+        assert bound.emit_bounds.filter_like
+
+    def test_manual_mode_requires_annotation(self):
+        op = MapOp("m", map_udf(paper_f2), FieldMap(AB))
+        with pytest.raises(Exception):
+            op.bound_props(AnnotationMode.MANUAL)
+
+
+class TestKeys:
+    def test_reduce_keys_in_reads(self):
+        props = UdfProperties(emit_bounds=EmitBounds.exactly(1))
+        op = ReduceOp("r", reduce_udf(identity_udf, props), FieldMap(AB), (0,))
+        bound = op.bound_props(AnnotationMode.MANUAL)
+        assert AB[0] in bound.reads
+        assert op.key_attrs() == frozenset({AB[0]})
+
+    def test_match_keys_in_reads(self):
+        props = UdfProperties(emit_bounds=EmitBounds.exactly(1))
+        op = MatchOp(
+            "m", binary_udf(concat_udf, props), FieldMap(AB), FieldMap(CD), (0,), (1,)
+        )
+        bound = op.bound_props(AnnotationMode.MANUAL)
+        assert AB[0] in bound.reads
+        assert CD[1] in bound.reads
+        assert op.left_key_attrs() == (AB[0],)
+        assert op.right_key_attrs() == (CD[1],)
+        assert op.side_key_attrs(0) == (AB[0],)
+        assert op.side_key_attrs(1) == (CD[1],)
+
+
+class TestSchemaPropagation:
+    def test_output_attrs_add_new_remove_projected(self):
+        props = UdfProperties(
+            writes_modified=FieldSet.of(5),
+            writes_projected=FieldSet.of(1),
+            emit_bounds=EmitBounds.exactly(1),
+        )
+        op = MapOp("m", map_udf(identity_udf, props), FieldMap(AB))
+        out = op.output_attrs_from(AnnotationMode.MANUAL, frozenset(AB))
+        names = {a.name for a in out}
+        assert names == {"i.a", "m.f5"}
+
+    def test_binary_union(self):
+        props = UdfProperties(emit_bounds=EmitBounds.exactly(1))
+        op = MatchOp(
+            "m", binary_udf(concat_udf, props), FieldMap(AB), FieldMap(CD), (0,), (0,)
+        )
+        out = op.output_attrs_from(
+            AnnotationMode.MANUAL, frozenset(AB), frozenset(CD)
+        )
+        assert out == frozenset(AB) | frozenset(CD)

@@ -1,0 +1,131 @@
+"""Plan tree structure, signatures, traversal, validation, rendering."""
+
+import pytest
+
+from repro.core import (
+    FieldMap,
+    MapOp,
+    PlanError,
+    Sink,
+    Source,
+    attrs,
+    body,
+    chain,
+    iter_nodes,
+    linearize,
+    map_udf,
+    node,
+    render_tree,
+    resinked,
+    signature,
+    validate,
+)
+from repro.core.plan import render_inline, replace_subtree
+from tests.conftest import identity_udf
+
+AB = attrs("i.a", "i.b")
+
+
+def build_chain(n=3):
+    src = Source("I", AB)
+    ops = [MapOp(f"m{k}", map_udf(identity_udf), FieldMap(AB)) for k in range(n)]
+    return chain(src, *ops), src, ops
+
+
+class TestStructure:
+    def test_arity_checked(self):
+        src = Source("I", AB)
+        m = MapOp("m", map_udf(identity_udf), FieldMap(AB))
+        with pytest.raises(PlanError):
+            node(m)  # unary op with no child
+        with pytest.raises(PlanError):
+            node(m, node(src), node(src))
+
+    def test_chain_builder(self):
+        flow, src, ops = build_chain(2)
+        assert flow.op is ops[1]
+        assert flow.only_child.op is ops[0]
+        assert flow.only_child.only_child.op is src
+
+    def test_iter_nodes_preorder(self):
+        flow, src, ops = build_chain(2)
+        names = [n.op.name for n in iter_nodes(flow)]
+        assert names == ["m1", "m0", "I"]
+
+    def test_linearize_bottom_up(self):
+        flow, _, _ = build_chain(3)
+        assert linearize(flow) == ("m0", "m1", "m2")
+
+
+class TestSignature:
+    def test_structural_identity(self):
+        flow_a, _, _ = build_chain(2)
+        assert signature(flow_a) == signature(flow_a)
+
+    def test_signature_distinguishes_order(self):
+        src = Source("I", AB)
+        m0 = MapOp("m0", map_udf(identity_udf), FieldMap(AB))
+        m1 = MapOp("m1", map_udf(identity_udf), FieldMap(AB))
+        assert signature(chain(src, m0, m1)) != signature(chain(src, m1, m0))
+
+    def test_nodes_hashable_and_equal(self):
+        flow_a, src, ops = build_chain(1)
+        flow_b = chain(src, *ops)
+        assert flow_a == flow_b
+        assert hash(flow_a) == hash(flow_b)
+        assert len({flow_a, flow_b}) == 1
+
+
+class TestSinkHandling:
+    def test_body_strips_sink(self):
+        flow, _, _ = build_chain(1)
+        plan = node(Sink("out"), flow)
+        assert body(plan) == flow
+        assert body(flow) == flow
+
+    def test_resinked(self):
+        flow, _, _ = build_chain(1)
+        sink_plan = node(Sink("out"), flow)
+        rebuilt = resinked(sink_plan, flow)
+        assert isinstance(rebuilt.op, Sink)
+        assert rebuilt.only_child == flow
+
+
+class TestValidate:
+    def test_duplicate_names_rejected(self):
+        src = Source("I", AB)
+        m = MapOp("dup", map_udf(identity_udf), FieldMap(AB))
+        m2 = MapOp("dup", map_udf(identity_udf), FieldMap(AB))
+        with pytest.raises(PlanError):
+            validate(chain(src, m, m2))
+
+    def test_sink_only_at_root(self):
+        src = Source("I", AB)
+        inner = node(Sink("s"), node(src))
+        m = MapOp("m", map_udf(identity_udf), FieldMap(AB))
+        with pytest.raises(PlanError):
+            validate(node(Sink("top"), node(m, inner)))
+
+    def test_valid_plan_passes(self):
+        flow, _, _ = build_chain(3)
+        validate(node(Sink("out"), flow))
+
+
+class TestRendering:
+    def test_render_inline(self):
+        flow, _, _ = build_chain(1)
+        assert render_inline(flow) == "Map:m0(Source:I)"
+
+    def test_render_tree_mentions_all_ops(self):
+        flow, _, _ = build_chain(2)
+        text = render_tree(flow)
+        for name in ("m0", "m1", "I"):
+            assert name in text
+
+
+class TestReplaceSubtree:
+    def test_replace(self):
+        flow, src, ops = build_chain(2)
+        replacement = node(src)
+        rebuilt = replace_subtree(flow, node(ops[0], node(src)), replacement)
+        assert linearize(rebuilt) == ("m1",)

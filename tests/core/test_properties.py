@@ -1,0 +1,100 @@
+"""FieldSet algebra (finite/cofinite), EmitBounds, conservative properties."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import EmitBounds, FieldSet, KatBehavior, conservative_properties
+
+small_items = st.frozensets(st.integers(0, 6), max_size=4)
+fieldsets = st.builds(FieldSet, small_items, st.booleans())
+UNIVERSE = frozenset(range(8))
+
+
+def concrete(fs: FieldSet) -> frozenset:
+    return fs.resolve(UNIVERSE)
+
+
+class TestFieldSetBasics:
+    def test_constructors(self):
+        assert FieldSet.empty().is_empty()
+        assert FieldSet.all().is_all()
+        assert 3 in FieldSet.of(3)
+        assert 3 not in FieldSet.all_except(3)
+        assert 4 in FieldSet.all_except(3)
+
+    def test_add(self):
+        assert 1 in FieldSet.empty().add(1)
+        assert 3 in FieldSet.all_except(3).add(3)
+
+    def test_resolve(self):
+        assert FieldSet.of(1, 99).resolve({1, 2}) == frozenset({1})
+        assert FieldSet.all_except(1).resolve({1, 2}) == frozenset({2})
+
+
+class TestFieldSetAlgebra:
+    @given(fieldsets, fieldsets)
+    def test_union_matches_set_semantics(self, x, y):
+        assert concrete(x.union(y)) == concrete(x) | concrete(y)
+
+    @given(fieldsets, fieldsets)
+    def test_intersection_matches_set_semantics(self, x, y):
+        assert concrete(x.intersection(y)) == concrete(x) & concrete(y)
+
+    @given(fieldsets, fieldsets)
+    def test_disjointness_consistent(self, x, y):
+        # Disjointness claims must never be wrong on any concrete universe.
+        if x.is_disjoint(y):
+            assert not (concrete(x) & concrete(y))
+
+    @given(fieldsets)
+    def test_union_with_all(self, x):
+        assert x.union(FieldSet.all()).is_all()
+
+    @given(fieldsets)
+    def test_intersection_with_empty(self, x):
+        assert x.intersection(FieldSet.empty()).is_empty()
+
+    @given(fieldsets, fieldsets, fieldsets)
+    def test_union_associative(self, x, y, z):
+        left = x.union(y).union(z)
+        right = x.union(y.union(z))
+        assert concrete(left) == concrete(right)
+
+
+class TestEmitBounds:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EmitBounds(-1, 0)
+        with pytest.raises(ValueError):
+            EmitBounds(2, 1)
+
+    def test_predicates(self):
+        assert EmitBounds.exactly(1).exactly_one
+        assert EmitBounds.at_most_one().filter_like
+        assert not EmitBounds.unbounded().filter_like
+        assert EmitBounds.unbounded().hi is None
+
+    def test_times(self):
+        fan = EmitBounds(0, 1).times(EmitBounds.exactly(1))
+        assert (fan.lo, fan.hi) == (0, 1)
+        unbounded = EmitBounds(1, None).times(EmitBounds.exactly(2))
+        assert unbounded.hi is None
+        assert unbounded.lo == 2
+
+    def test_contains(self):
+        assert EmitBounds(1, 3).contains(2)
+        assert not EmitBounds(1, 3).contains(0)
+        assert EmitBounds(0, None).contains(10**6)
+
+
+class TestConservative:
+    def test_conservative_shape(self):
+        props = conservative_properties("reason")
+        assert props.reads.is_all()
+        assert props.writes_modified.is_all()
+        assert props.writes_projected.is_empty()
+        assert props.emit_bounds.hi is None
+        assert props.kat_behavior is KatBehavior.ARBITRARY
+        assert props.is_conservative()
+        assert "reason" in props.notes[0]

@@ -1,0 +1,139 @@
+"""Record API semantics: copy / projection / concat / pass-through."""
+
+import pytest
+
+from repro.core import Collector, FieldMap, InputRecord, UdfError, attrs
+from repro.core.record import OutputPositionResolver, record_bytes, value_bytes
+from repro.core.schema import NewAttributeFactory
+
+
+def make_resolver(*maps):
+    return OutputPositionResolver(maps, NewAttributeFactory("op"))
+
+
+class TestValueBytes:
+    def test_primitives(self):
+        assert value_bytes(None) == 1
+        assert value_bytes(True) == 1
+        assert value_bytes(7) == 8
+        assert value_bytes(1.5) == 8
+        assert value_bytes("abcd") == 8
+
+    def test_containers(self):
+        assert value_bytes((1, 2)) == 4 + 16
+        assert value_bytes([1]) == 4 + 8
+
+    def test_record_bytes_counts_headers(self):
+        a, b = attrs("a", "b")
+        assert record_bytes({a: 1, b: "xy"}) == (2 + 8) + (2 + 6)
+
+
+class TestInputRecord:
+    def setup_method(self):
+        self.a, self.b = attrs("a", "b")
+        self.fmap = FieldMap((self.a, self.b))
+        self.resolver = make_resolver(self.fmap)
+
+    def record(self, values):
+        return InputRecord(values, self.fmap, self.resolver)
+
+    def test_get_field(self):
+        rec = self.record({self.a: 1, self.b: 2})
+        assert rec.get_field(0) == 1
+        assert rec.get_field(1) == 2
+
+    def test_get_missing_attr_raises(self):
+        rec = self.record({self.a: 1})
+        with pytest.raises(UdfError):
+            rec.get_field(1)
+
+    def test_copy_is_full_copy(self):
+        rec = self.record({self.a: 1, self.b: 2})
+        out = rec.copy()
+        assert out.raw() == {self.a: 1, self.b: 2}
+        out.set_field(0, 9)
+        assert rec.raw()[self.a] == 1  # original untouched
+
+    def test_new_record_projects_positional_space_only(self):
+        other = attrs("pass.through")[0]
+        rec = self.record({self.a: 1, self.b: 2, other: 42})
+        out = rec.new_record()
+        # a/b are in the operator's positional space: dropped.
+        # `other` is unknown to the operator: passes through.
+        assert out.raw() == {other: 42}
+
+    def test_set_field_new_position_creates_attribute(self):
+        rec = self.record({self.a: 1, self.b: 2})
+        out = rec.copy()
+        out.set_field(5, "new")
+        created = [a for a in out.raw() if a.name == "op.f5"]
+        assert created and out.raw()[created[0]] == "new"
+
+    def test_set_field_none_is_projection(self):
+        rec = self.record({self.a: 1, self.b: 2})
+        out = rec.copy()
+        out.set_field(1, None)
+        assert self.b not in out.raw()
+
+    def test_output_get_field(self):
+        rec = self.record({self.a: 1, self.b: 2})
+        out = rec.copy()
+        out.set_field(0, 5)
+        assert out.get_field(0) == 5
+        out.set_field(1, None)
+        with pytest.raises(UdfError):
+            out.get_field(1)
+
+
+class TestConcat:
+    def test_concat_merges_both_sides(self):
+        a, b = attrs("l.a", "r.b")
+        left_map, right_map = FieldMap((a,)), FieldMap((b,))
+        resolver = make_resolver(left_map, right_map)
+        left = InputRecord({a: 1}, left_map, resolver)
+        right = InputRecord({b: 2}, right_map, resolver)
+        out = left.concat(right)
+        assert out.raw() == {a: 1, b: 2}
+
+    def test_concat_positions_cover_both_inputs(self):
+        a, b = attrs("l.a", "r.b")
+        resolver = make_resolver(FieldMap((a,)), FieldMap((b,)))
+        assert resolver.attr_for(0) == a
+        assert resolver.attr_for(1) == b
+        assert resolver.attr_for(2).name == "op.f2"
+
+    def test_concat_rejects_non_record(self):
+        a = attrs("a")[0]
+        fmap = FieldMap((a,))
+        resolver = make_resolver(fmap)
+        rec = InputRecord({a: 1}, fmap, resolver)
+        with pytest.raises(UdfError):
+            rec.concat("nope")
+
+
+class TestCollector:
+    def test_emit_output_and_input_records(self):
+        a = attrs("a")[0]
+        fmap = FieldMap((a,))
+        resolver = make_resolver(fmap)
+        rec = InputRecord({a: 1}, fmap, resolver)
+        collector = Collector()
+        collector.emit(rec)
+        collector.emit(rec.copy())
+        assert collector.records() == [{a: 1}, {a: 1}]
+
+    def test_emit_rejects_non_records(self):
+        collector = Collector()
+        with pytest.raises(UdfError):
+            collector.emit({"not": "a record"})
+
+    def test_emitted_records_are_independent(self):
+        a = attrs("a")[0]
+        fmap = FieldMap((a,))
+        resolver = make_resolver(fmap)
+        rec = InputRecord({a: 1}, fmap, resolver)
+        out = rec.copy()
+        collector = Collector()
+        collector.emit(out)
+        out.set_field(0, 99)
+        assert collector.records()[0] == {a: 1}

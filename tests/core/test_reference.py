@@ -1,0 +1,144 @@
+"""Reference (oracle) evaluator semantics for all five PACT operators."""
+
+import pytest
+
+from repro.core import (
+    CoGroupOp,
+    CrossOp,
+    ExecutionError,
+    FieldMap,
+    MapOp,
+    MatchOp,
+    ReduceOp,
+    Sink,
+    Source,
+    attrs,
+    binary_udf,
+    cogroup_udf,
+    datasets_equal,
+    evaluate,
+    map_udf,
+    node,
+    reduce_udf,
+)
+from tests.conftest import concat_udf
+
+A, B = attrs("i.a", "i.b")
+C, D = attrs("j.c", "j.d")
+AB = FieldMap((A, B))
+CD = FieldMap((C, D))
+
+
+def rows(*pairs):
+    return [{A: a, B: b} for a, b in pairs]
+
+
+def right_rows(*pairs):
+    return [{C: c, D: d} for c, d in pairs]
+
+
+class TestMapSemantics:
+    def test_filter_and_transform(self):
+        def udf(rec, out):
+            if rec.get_field(0) > 0:
+                r = rec.copy()
+                r.set_field(1, rec.get_field(1) * 2)
+                out.emit(r)
+
+        op = MapOp("m", map_udf(udf), AB)
+        plan = node(op, node(Source("I", (A, B))))
+        result = evaluate(plan, {"I": rows((1, 5), (-1, 5))})
+        assert result == [{A: 1, B: 10}]
+
+    def test_multi_emit(self):
+        def udf(rec, out):
+            out.emit(rec.copy())
+            out.emit(rec.copy())
+
+        op = MapOp("m", map_udf(udf), AB)
+        plan = node(op, node(Source("I", (A, B))))
+        assert len(evaluate(plan, {"I": rows((1, 1))})) == 2
+
+
+class TestReduceSemantics:
+    def test_grouping_and_aggregation(self):
+        def udf(records, out):
+            total = 0
+            for r in records:
+                total = total + r.get_field(1)
+            o = records[0].copy()
+            o.set_field(1, total)
+            out.emit(o)
+
+        op = ReduceOp("r", reduce_udf(udf), AB, (0,))
+        plan = node(op, node(Source("I", (A, B))))
+        result = evaluate(plan, {"I": rows((1, 5), (1, 7), (2, 3))})
+        assert datasets_equal(result, [{A: 1, B: 12}, {A: 2, B: 3}])
+
+    def test_group_receives_all_records(self):
+        def udf(records, out):
+            o = records[0].copy()
+            o.set_field(1, len(records))
+            out.emit(o)
+
+        op = ReduceOp("r", reduce_udf(udf), AB, (0,))
+        plan = node(op, node(Source("I", (A, B))))
+        result = evaluate(plan, {"I": rows((7, 0), (7, 1), (7, 2))})
+        assert result == [{A: 7, B: 3}]
+
+
+class TestBinarySemantics:
+    def make_sources(self):
+        return node(Source("I", (A, B))), node(Source("J", (C, D)))
+
+    def test_match_is_equi_join(self):
+        left, right = self.make_sources()
+        op = MatchOp("m", binary_udf(concat_udf), AB, CD, (0,), (0,))
+        plan = node(op, left, right)
+        data = {"I": rows((1, 10), (2, 20)), "J": right_rows((1, 100), (3, 300))}
+        result = evaluate(plan, data)
+        assert result == [{A: 1, B: 10, C: 1, D: 100}]
+
+    def test_match_duplicates_multiply(self):
+        left, right = self.make_sources()
+        op = MatchOp("m", binary_udf(concat_udf), AB, CD, (0,), (0,))
+        plan = node(op, left, right)
+        data = {"I": rows((1, 10), (1, 11)), "J": right_rows((1, 100), (1, 101))}
+        assert len(evaluate(plan, data)) == 4
+
+    def test_cross_is_cartesian(self):
+        left, right = self.make_sources()
+        op = CrossOp("x", binary_udf(concat_udf), AB, CD)
+        plan = node(op, left, right)
+        data = {"I": rows((1, 0), (2, 0)), "J": right_rows((9, 0), (8, 0), (7, 0))}
+        assert len(evaluate(plan, data)) == 6
+
+    def test_cogroup_covers_both_key_domains(self):
+        def udf(left_recs, right_recs, out):
+            if left_recs:
+                base = left_recs[0]
+            else:
+                base = right_recs[0]
+            o = base.new_record()
+            o.set_field(4, len(left_recs) * 10 + len(right_recs))
+            out.emit(o)
+
+        op = CoGroupOp("cg", cogroup_udf(udf), AB, CD, (0,), (0,))
+        counter = op.new_attr_factory.attr_for(4)
+        left, right = self.make_sources()
+        plan = node(op, left, right)
+        data = {"I": rows((1, 0), (1, 0)), "J": right_rows((1, 5), (2, 5))}
+        result = evaluate(plan, data)
+        counts = sorted(r[counter] for r in result)
+        assert counts == [1, 21]  # key 2: right-only; key 1: 2 left + 1 right
+
+
+class TestErrors:
+    def test_missing_source_data(self):
+        plan = node(Source("I", (A, B)))
+        with pytest.raises(ExecutionError):
+            evaluate(plan, {})
+
+    def test_sink_passthrough(self):
+        plan = node(Sink("out"), node(Source("I", (A, B))))
+        assert evaluate(plan, {"I": rows((1, 2))}) == [{A: 1, B: 2}]

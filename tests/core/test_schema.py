@@ -1,0 +1,80 @@
+"""Attribute / FieldMap / NewAttributeFactory behavior."""
+
+import pytest
+
+from repro.core import Attribute, FieldMap, SchemaError, attrs, prefixed
+from repro.core.schema import GlobalRecord, NewAttributeFactory
+
+
+class TestAttribute:
+    def test_equality_by_name(self):
+        assert Attribute("x") == Attribute("x")
+        assert Attribute("x") != Attribute("y")
+
+    def test_hashable(self):
+        assert len({Attribute("x"), Attribute("x"), Attribute("y")}) == 2
+
+    def test_attrs_helper(self):
+        a, b = attrs("a", "b")
+        assert a.name == "a"
+        assert b.name == "b"
+
+    def test_prefixed_helper(self):
+        a, b = prefixed("t", "x", "y")
+        assert a.name == "t.x"
+        assert b.name == "t.y"
+
+
+class TestFieldMap:
+    def test_positions(self):
+        fm = FieldMap(attrs("a", "b", "c"))
+        assert fm.attr_at(0).name == "a"
+        assert fm.attr_at(2).name == "c"
+        assert fm.position_of(Attribute("b")) == 1
+        assert len(fm) == 3
+
+    def test_out_of_range(self):
+        fm = FieldMap(attrs("a"))
+        with pytest.raises(SchemaError):
+            fm.attr_at(1)
+        with pytest.raises(SchemaError):
+            fm.attr_at(-1)
+
+    def test_unknown_attribute(self):
+        fm = FieldMap(attrs("a"))
+        with pytest.raises(SchemaError):
+            fm.position_of(Attribute("zz"))
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaError):
+            FieldMap(attrs("a", "a"))
+
+    def test_as_set_and_iter(self):
+        fm = FieldMap(attrs("a", "b"))
+        assert fm.as_set() == frozenset(attrs("a", "b"))
+        assert [a.name for a in fm] == ["a", "b"]
+
+
+class TestNewAttributeFactory:
+    def test_deterministic(self):
+        factory = NewAttributeFactory("op1")
+        first = factory.attr_for(5)
+        second = factory.attr_for(5)
+        assert first is second
+        assert first.name == "op1.f5"
+
+    def test_distinct_positions(self):
+        factory = NewAttributeFactory("op1")
+        assert factory.attr_for(5) != factory.attr_for(6)
+        assert set(factory.created()) == {5, 6}
+
+
+class TestGlobalRecord:
+    def test_union_and_contains(self):
+        a, b, c = attrs("a", "b", "c")
+        gr = GlobalRecord(frozenset({a, b}))
+        assert a in gr
+        assert c not in gr
+        grown = gr.union(frozenset({c}))
+        assert c in grown
+        assert len(grown) == 3

@@ -1,0 +1,164 @@
+"""Engine correctness: physical execution must match the oracle evaluator,
+and the time model must behave sensibly."""
+
+import pytest
+
+from repro.core import (
+    AnnotationMode,
+    Catalog,
+    EmitBounds,
+    FieldMap,
+    FieldSet,
+    MapOp,
+    MatchOp,
+    ReduceOp,
+    Sink,
+    Source,
+    SourceStats,
+    UdfProperties,
+    attrs,
+    binary_udf,
+    chain,
+    datasets_equal,
+    evaluate,
+    map_udf,
+    node,
+    reduce_udf,
+)
+from repro.engine import Engine, execute_physical
+from repro.optimizer import (
+    CardinalityEstimator,
+    CostParams,
+    PlanContext,
+    optimize_physical,
+)
+from tests.conftest import concat_udf, random_rows
+
+L = attrs("l.k", "l.v")
+S = attrs("s.k", "s.name")
+
+
+def sum_reduce(records, out):
+    total = 0
+    for r in records:
+        total = total + r.get_field(1)
+    o = records[0].copy()
+    o.set_field(1, total)
+    out.emit(o)
+
+
+def double_map(rec, out):
+    r = rec.copy()
+    r.set_field(1, rec.get_field(1) * 2)
+    out.emit(r)
+
+
+def build_env():
+    catalog = Catalog()
+    catalog.add_source("L", SourceStats(60, distinct={L[0]: 7}))
+    catalog.add_source("S", SourceStats(7, distinct={S[0]: 7}))
+    catalog.declare_unique(S[0])
+    ctx = PlanContext(catalog, AnnotationMode.SCA)
+    l_rows = random_rows(L, 60, seed=3, lo=0, hi=6)
+    s_rows = [{S[0]: k, S[1]: f"n{k}"} for k in range(7)]
+    return ctx, {"L": l_rows, "S": s_rows}
+
+
+def physical_for(flow, ctx, degree=8):
+    est = CardinalityEstimator(ctx)
+    return optimize_physical(flow, ctx, est, CostParams(degree=degree))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("degree", [1, 2, 7, 16])
+    def test_map_reduce_chain_matches_oracle(self, degree):
+        ctx, data = build_env()
+        flow = chain(
+            Source("L", L),
+            MapOp("dbl", map_udf(double_map), FieldMap(L)),
+            ReduceOp("sum", reduce_udf(sum_reduce), FieldMap(L), (0,)),
+        )
+        est = CardinalityEstimator(ctx)
+        phys = optimize_physical(flow, ctx, est, CostParams(degree=degree))
+        result = execute_physical(phys, data, CostParams(degree=degree))
+        assert datasets_equal(result.records, evaluate(flow, data))
+
+    def test_match_repartition_matches_oracle(self):
+        ctx, data = build_env()
+        flow = node(
+            MatchOp("j", binary_udf(concat_udf), FieldMap(L), FieldMap(S), (0,), (0,)),
+            node(Source("L", L)),
+            node(Source("S", S)),
+        )
+        phys = physical_for(flow, ctx)
+        result = execute_physical(phys, data, CostParams(degree=8))
+        assert datasets_equal(result.records, evaluate(flow, data))
+
+    def test_match_broadcast_matches_oracle(self):
+        catalog = Catalog()
+        catalog.add_source("L", SourceStats(100_000, distinct={L[0]: 7}))
+        catalog.add_source("S", SourceStats(7, distinct={S[0]: 7}))
+        ctx = PlanContext(catalog, AnnotationMode.SCA)
+        _, data = build_env()
+        flow = node(
+            MatchOp("j", binary_udf(concat_udf), FieldMap(L), FieldMap(S), (0,), (0,)),
+            node(Source("L", L)),
+            node(Source("S", S)),
+        )
+        phys = physical_for(flow, ctx)
+        from repro.optimizer import ShipKind
+
+        assert any(s.kind is ShipKind.BROADCAST for s in phys.ships)
+        result = execute_physical(phys, data, CostParams(degree=8))
+        assert datasets_equal(result.records, evaluate(flow, data))
+
+    def test_sink_plan_executes(self):
+        ctx, data = build_env()
+        flow = chain(Source("L", L), MapOp("dbl", map_udf(double_map), FieldMap(L)))
+        plan = node(Sink("out"), flow)
+        phys = physical_for(plan, ctx)
+        result = execute_physical(phys, data, CostParams(degree=8))
+        assert datasets_equal(result.records, evaluate(plan, data))
+
+
+class TestTimeModel:
+    def test_metrics_accumulate(self):
+        ctx, data = build_env()
+        flow = chain(
+            Source("L", L),
+            ReduceOp("sum", reduce_udf(sum_reduce), FieldMap(L), (0,)),
+        )
+        phys = physical_for(flow, ctx)
+        result = execute_physical(phys, data, CostParams(degree=8))
+        report = result.report
+        assert result.seconds > 0
+        assert report.udf_calls == 7  # one call per key group
+        names = [m.name for m in report.per_op]
+        assert "sum" in names and "L" in names
+        reduce_metrics = next(m for m in report.per_op if m.name == "sum")
+        assert reduce_metrics.net_bytes > 0  # repartition happened
+        assert reduce_metrics.rows_in == 60
+
+    def test_true_costs_scale_runtime(self):
+        ctx, data = build_env()
+        flow = chain(Source("L", L), MapOp("dbl", map_udf(double_map), FieldMap(L)))
+        phys = physical_for(flow, ctx)
+        cheap = Engine(CostParams(degree=8), {"dbl": 1.0}).execute(phys, data)
+        pricey = Engine(CostParams(degree=8), {"dbl": 1000.0}).execute(phys, data)
+        assert pricey.seconds > cheap.seconds
+        assert datasets_equal(cheap.records, pricey.records)
+
+    def test_minutes_label(self):
+        from repro.engine.metrics import ExecutionReport, OpMetrics
+
+        report = ExecutionReport(per_op=[OpMetrics(name="x", local_seconds=383.0)])
+        assert report.minutes_label() == "6:23 min"
+
+    def test_missing_source_data(self):
+        ctx, _ = build_env()
+        flow = chain(Source("L", L), MapOp("dbl", map_udf(double_map), FieldMap(L)))
+        phys = physical_for(flow, ctx)
+        from repro.core import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            execute_physical(phys, {}, CostParams(degree=8))

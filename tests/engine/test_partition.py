@@ -1,0 +1,71 @@
+"""Partitioning primitives: determinism, co-location, conservation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import attrs
+from repro.engine import broadcast, gather, repartition_by_key, round_robin, stable_hash
+from repro.engine.partition import hash_key
+
+A, B = attrs("a", "b")
+
+
+class TestStableHash:
+    def test_deterministic_across_types(self):
+        assert stable_hash("abc") == stable_hash("abc")
+        assert stable_hash(17) == stable_hash(17)
+        assert stable_hash((1, "x")) == stable_hash((1, "x"))
+        assert stable_hash(None) == stable_hash(None)
+        assert stable_hash(1.5) == stable_hash(1.5)
+
+    def test_bool_not_confused_with_int(self):
+        assert stable_hash(True) != stable_hash(1)
+
+    @given(st.lists(st.integers(), min_size=2, max_size=2, unique=True))
+    def test_spreads_values(self, pair):
+        # not a strict requirement for all pairs, but the multiplier must
+        # not collapse small distinct ints
+        a, b = pair
+        if abs(a - b) < 1000:
+            assert stable_hash(a) != stable_hash(b)
+
+
+class TestRoundRobin:
+    @given(st.integers(0, 50), st.integers(1, 8))
+    def test_conservation_and_balance(self, n, degree):
+        rows = [{A: i} for i in range(n)]
+        parts = round_robin(rows, degree)
+        assert len(parts) == degree
+        assert sorted(r[A] for r in gather(parts)) == list(range(n))
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestRepartition:
+    @given(st.lists(st.integers(0, 5), max_size=40), st.integers(1, 8))
+    def test_key_groups_colocated(self, keys, degree):
+        rows = [{A: k, B: i} for i, k in enumerate(keys)]
+        parts, moved = repartition_by_key(round_robin(rows, degree), (A,), degree)
+        assert 0 <= moved <= len(rows)
+        # conservation
+        assert sorted(r[B] for r in gather(parts)) == sorted(r[B] for r in rows)
+        # co-location: every key appears in exactly one partition
+        for key in set(keys):
+            holders = [i for i, p in enumerate(parts) if any(r[A] == key for r in p)]
+            assert len(holders) <= 1
+
+    def test_placement_matches_hash(self):
+        rows = [{A: 7}]
+        parts, _ = repartition_by_key([rows, [], []], (A,), 3)
+        expected = hash_key(rows[0], (A,)) % 3
+        assert parts[expected] == rows
+
+
+class TestBroadcast:
+    @given(st.integers(0, 20), st.integers(1, 6))
+    def test_every_instance_gets_everything(self, n, degree):
+        rows = [{A: i} for i in range(n)]
+        parts, moved = broadcast(round_robin(rows, degree), degree)
+        assert moved == n * (degree - 1)
+        for p in parts:
+            assert sorted(r[A] for r in p) == list(range(n))

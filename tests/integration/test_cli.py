@@ -1,0 +1,49 @@
+"""CLI smoke tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in ("tpch_q7", "tpch_q15", "clickstream", "textmining"):
+        assert name in out
+
+
+def test_analyze_sca(capsys):
+    assert main(["analyze", "tpch_q15"]) == 0
+    out = capsys.readouterr().out
+    assert "sigma_shipdate_q15" in out
+    assert "l.shipdate" in out  # derived read set rendered
+
+def test_analyze_conservative_column(capsys):
+    assert main(["analyze", "clickstream"]) == 0
+    out = capsys.readouterr().out
+    assert "filter_buy_sessions" in out
+    assert "yes" in out  # the conservative fallback is visible
+
+
+def test_enumerate_manual(capsys):
+    assert main(["enumerate", "clickstream", "--mode", "manual"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("9 valid reordered data flows")
+
+
+def test_enumerate_limit(capsys):
+    assert main(["enumerate", "tpch_q7", "--limit", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "more" in out
+
+
+def test_experiment(capsys):
+    assert main(["experiment", "tpch_q15", "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "plans enumerated: 3" in out
+    assert "runtime spread" in out
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(SystemExit):
+        main(["analyze", "nope"])

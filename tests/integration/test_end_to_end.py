@@ -1,0 +1,144 @@
+"""End-to-end integration: optimize -> execute -> verify, per workload.
+
+These are fast-scale versions of the Section 7 experiments; the benchmark
+harness in benchmarks/ runs them at full scale.
+"""
+
+import pytest
+
+from repro.bench import run_experiment
+from repro.core import AnnotationMode, projected_approx_equal, evaluate
+from repro.datagen import ClickScale, CorpusScale, TpchScale
+from repro.engine import Engine
+from repro.optimizer import Optimizer
+from repro.workloads import (
+    build_clickstream,
+    build_q7,
+    build_q15,
+    build_textmining,
+)
+
+SMALL_TPCH = TpchScale(suppliers=30, customers=40, orders=200)
+
+
+@pytest.fixture(scope="module")
+def q15():
+    return build_q15(SMALL_TPCH)
+
+
+@pytest.fixture(scope="module")
+def clicks():
+    return build_clickstream(ClickScale(sessions=80))
+
+
+@pytest.fixture(scope="module")
+def mining():
+    return build_textmining(CorpusScale(documents=60))
+
+
+class TestOptimizerPipeline:
+    def test_q15_ranked_plans(self, q15):
+        result = Optimizer(q15.catalog, q15.hints, AnnotationMode.SCA).optimize(q15.plan)
+        assert result.plan_count == 3
+        costs = [p.cost for p in result.ranked]
+        assert costs == sorted(costs)
+        assert result.best.rank == 1
+        assert result.rank_of(result.original_body) in (1, 2, 3)
+
+    def test_picks_protocol(self, q15):
+        result = Optimizer(q15.catalog, q15.hints, AnnotationMode.SCA).optimize(q15.plan)
+        picks = result.picks(10)
+        assert len(picks) == 3  # fewer plans than picks: take all
+        assert picks[0].rank == 1
+        assert picks[-1].rank == result.plan_count
+
+    def test_enumeration_time_recorded(self, q15):
+        result = Optimizer(q15.catalog, q15.hints, AnnotationMode.SCA).optimize(q15.plan)
+        assert result.enumeration_seconds >= 0
+        assert result.physical_seconds >= 0
+
+
+class TestExecutedPlansMatchOracle:
+    @pytest.mark.parametrize("mode", [AnnotationMode.SCA, AnnotationMode.MANUAL])
+    def test_q15_every_plan(self, q15, mode):
+        result = Optimizer(q15.catalog, q15.hints, mode).optimize(q15.plan)
+        engine = Engine(q15.params, q15.true_costs)
+        baseline = evaluate(q15.plan, q15.data)
+        for plan in result.ranked:
+            execution = engine.execute(plan.physical, q15.data)
+            assert projected_approx_equal(
+                execution.records, baseline, q15.sink_attrs
+            )
+
+    def test_clickstream_every_plan(self, clicks):
+        result = Optimizer(
+            clicks.catalog, clicks.hints, AnnotationMode.MANUAL
+        ).optimize(clicks.plan)
+        engine = Engine(clicks.params, clicks.true_costs)
+        baseline = evaluate(clicks.plan, clicks.data)
+        assert result.plan_count == 9
+        for plan in result.ranked:
+            execution = engine.execute(plan.physical, clicks.data)
+            assert projected_approx_equal(
+                execution.records, baseline, clicks.sink_attrs
+            )
+
+    def test_textmining_best_plan(self, mining):
+        result = Optimizer(
+            mining.catalog, mining.hints, AnnotationMode.SCA
+        ).optimize(mining.plan)
+        engine = Engine(mining.params, mining.true_costs)
+        baseline = evaluate(mining.plan, mining.data)
+        execution = engine.execute(result.best.physical, mining.data)
+        assert projected_approx_equal(execution.records, baseline, mining.sink_attrs)
+
+
+class TestHarness:
+    def test_run_experiment_outcome(self, mining):
+        outcome = run_experiment(mining, picks=5)
+        assert outcome.plan_count == 24
+        assert len(outcome.executed) == 5
+        assert outcome.executed[0].rank == 1
+        assert outcome.executed[-1].rank == 24
+        assert outcome.norm_costs[0] == pytest.approx(1.0)
+        assert outcome.norm_runtimes[0] == pytest.approx(1.0)
+        assert outcome.runtime_spread >= 1.0
+
+    def test_execute_all(self, q15):
+        outcome = run_experiment(q15, execute_all=True)
+        assert len(outcome.executed) == 3
+        assert outcome.original_rank() is not None
+
+    def test_render_figure(self, q15):
+        from repro.bench import render_figure
+
+        outcome = run_experiment(q15, execute_all=True)
+        text = render_figure(outcome, "Q15 check")
+        assert "plans enumerated: 3" in text
+        assert "#" in text and "*" in text
+
+
+class TestOptimizationWins:
+    def test_textmining_best_beats_worst_substantially(self, mining):
+        outcome = run_experiment(mining, picks=5)
+        assert outcome.runtime_spread > 2.0
+
+    def test_cost_correlates_with_runtime(self, mining):
+        """The paper's validity check: higher estimates -> longer runtimes,
+        on the whole (Spearman over the picked plans must be positive)."""
+        outcome = run_experiment(mining, picks=8)
+        costs = outcome.norm_costs
+        times = outcome.norm_runtimes
+
+        def ranks(values):
+            order = sorted(range(len(values)), key=values.__getitem__)
+            out = [0] * len(values)
+            for rank, idx in enumerate(order):
+                out[idx] = rank
+            return out
+
+        rc, rt = ranks(costs), ranks(times)
+        n = len(rc)
+        d2 = sum((a - b) ** 2 for a, b in zip(rc, rt))
+        spearman = 1 - 6 * d2 / (n * (n**2 - 1))
+        assert spearman > 0.5

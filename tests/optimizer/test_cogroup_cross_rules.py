@@ -1,0 +1,188 @@
+"""Reordering with CoGroup (tagged-union rules, Section 4.3.2) and Cross
+(Theorem 3/4), verified both through the legality checks and by executing
+enumerated alternatives against the oracle."""
+
+from repro.core import (
+    AnnotationMode,
+    Catalog,
+    CoGroupOp,
+    CrossOp,
+    FieldMap,
+    MapOp,
+    ReduceOp,
+    Source,
+    SourceStats,
+    attrs,
+    cogroup_udf,
+    binary_udf,
+    datasets_equal,
+    evaluate,
+    map_udf,
+    node,
+    reduce_udf,
+)
+from repro.core.plan import linearize
+from repro.optimizer import (
+    PlanContext,
+    can_exchange_unary_binary,
+    enumerate_flows,
+)
+from tests.conftest import concat_udf, random_rows
+
+L = attrs("l.k", "l.v")
+S = attrs("s.k", "s.w")
+
+
+def make_ctx():
+    catalog = Catalog()
+    catalog.add_source("L", SourceStats(30))
+    catalog.add_source("S", SourceStats(30))
+    return PlanContext(catalog, AnnotationMode.SCA)
+
+
+def balance_groups(left_recs, right_recs, out):
+    """CoGroup UDF: per key, emit one record with the group-size delta."""
+    if left_recs:
+        o = left_recs[0].copy()
+    else:
+        o = right_recs[0].copy()
+    o.set_field(4, len(left_recs) - len(right_recs))
+    out.emit(o)
+
+
+def make_cogroup():
+    return CoGroupOp(
+        "cg", cogroup_udf(balance_groups), FieldMap(L), FieldMap(S), (0,), (0,)
+    )
+
+
+class TestCoGroupIsAReorderBarrier:
+    """The paper's tagged-union push (Section 4.3.2) rewrites the UDF with
+    a lineage guard; a non-intrusive optimizer cannot, so CoGroup blocks
+    all exchanges.  The first test documents *why*: a key filter above vs
+    below a CoGroup is observably different (right-only key groups)."""
+
+    def test_key_filter_above_vs_below_differs(self):
+        def key_filter(rec, out):
+            if rec.get_field(0) > 0:
+                out.emit(rec.copy())
+
+        cg = make_cogroup()
+        extended = L + S + (cg.new_attr_factory.attr_for(4),)
+        above = MapOp("fa", map_udf(key_filter), FieldMap(extended))
+        below = MapOp("fb", map_udf(key_filter), FieldMap(L))
+        # Right-only groups: keys present in S but filtered from L.
+        data = {
+            "L": [{L[0]: 1, L[1]: 0}, {L[0]: -2, L[1]: 0}],
+            "S": [{S[0]: 1, S[1]: 5}, {S[0]: -2, S[1]: 6}, {S[0]: 9, S[1]: 7}],
+        }
+        plan_below = node(
+            cg, node(below, node(Source("L", L))), node(Source("S", S))
+        )
+        out_below = evaluate(plan_below, data)
+        # Below the CoGroup, keys -2 and 9 still form (right-only) groups.
+        assert len(out_below) == 3
+        # Above the CoGroup, the filter would see right-only records that
+        # lack l.k entirely — a different (here: failing) computation.
+        cg2 = CoGroupOp(
+            "cg2", cogroup_udf(balance_groups), FieldMap(L), FieldMap(S), (0,), (0,)
+        )
+        plan_above = node(
+            MapOp("fa2", map_udf(key_filter), FieldMap(L + S + (cg2.new_attr_factory.attr_for(4),))),
+            node(cg2, node(Source("L", L)), node(Source("S", S))),
+        )
+        import pytest as _pytest
+
+        from repro.core import UdfError
+
+        with _pytest.raises(UdfError):
+            evaluate(plan_above, data)
+
+    def test_key_filter_exchange_blocked(self):
+        def key_filter(rec, out):
+            if rec.get_field(0) > 0:
+                out.emit(rec.copy())
+
+        ctx = make_ctx()
+        m = MapOp("f", map_udf(key_filter), FieldMap(L))
+        assert not can_exchange_unary_binary(
+            m, make_cogroup(), 0, node(Source("S", S)), ctx
+        )
+
+    def test_reduce_past_cogroup_blocked(self):
+        def agg(records, out):
+            out.emit(records[0].copy())
+
+        ctx = make_ctx()
+        r = ReduceOp("agg", reduce_udf(agg), FieldMap(L), (0,))
+        assert not can_exchange_unary_binary(
+            r, make_cogroup(), 0, node(Source("S", S)), ctx
+        )
+
+    def test_enumeration_keeps_cogroup_flow_fixed(self):
+        def key_filter(rec, out):
+            if rec.get_field(0) > 0:
+                out.emit(rec.copy())
+
+        ctx = make_ctx()
+        cg = make_cogroup()
+        m = MapOp(
+            "f", map_udf(key_filter),
+            FieldMap(L + S + (cg.new_attr_factory.attr_for(4),)),
+        )
+        flow = node(m, node(cg, node(Source("L", L)), node(Source("S", S))))
+        assert len(enumerate_flows(flow, ctx)) == 1
+
+
+class TestMapPastCross:
+    def test_side_confined_map_passes_and_executes(self):
+        def double_v(rec, out):
+            r = rec.copy()
+            r.set_field(1, rec.get_field(1) * 2)
+            out.emit(r)
+
+        ctx = make_ctx()
+        cross = CrossOp("x", binary_udf(concat_udf), FieldMap(L), FieldMap(S))
+        m = MapOp("dbl", map_udf(double_v), FieldMap(L))
+        assert can_exchange_unary_binary(m, cross, 0, node(Source("S", S)), ctx)
+
+        flow = node(m, node(cross, node(Source("L", L)), node(Source("S", S))))
+        alternatives = enumerate_flows(flow, ctx)
+        assert len(alternatives) == 2
+        data = {"L": random_rows(L, 6, seed=3), "S": random_rows(S, 5, seed=4)}
+        baseline = evaluate(flow, data)
+        for alt in alternatives:
+            assert datasets_equal(evaluate(alt, data), baseline)
+
+    def test_reduce_past_cross_blocked(self):
+        def agg(records, out):
+            out.emit(records[0].copy())
+
+        ctx = make_ctx()
+        cross = CrossOp("x", binary_udf(concat_udf), FieldMap(L), FieldMap(S))
+        r = ReduceOp("agg", reduce_udf(agg), FieldMap(L), (0,))
+        assert not can_exchange_unary_binary(r, cross, 0, node(Source("S", S)), ctx)
+
+    def test_cross_of_cross_rotation_executes(self):
+        t_attrs = attrs("t.a", "t.b")
+        catalog = Catalog()
+        for name in ("L", "S", "T"):
+            catalog.add_source(name, SourceStats(5))
+        ctx = PlanContext(catalog, AnnotationMode.SCA)
+        inner = CrossOp("x1", binary_udf(concat_udf), FieldMap(L), FieldMap(S))
+        outer = CrossOp("x2", binary_udf(concat_udf), FieldMap(L + S), FieldMap(t_attrs))
+        flow = node(
+            outer,
+            node(inner, node(Source("L", L)), node(Source("S", S))),
+            node(Source("T", t_attrs)),
+        )
+        alternatives = enumerate_flows(flow, ctx)
+        assert len(alternatives) >= 2  # rotations apply to pure Cross trees
+        data = {
+            "L": random_rows(L, 3, seed=5),
+            "S": random_rows(S, 3, seed=6),
+            "T": random_rows(t_attrs, 3, seed=7),
+        }
+        baseline = evaluate(flow, data)
+        for alt in alternatives:
+            assert datasets_equal(evaluate(alt, data), baseline)

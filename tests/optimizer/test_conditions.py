@@ -1,0 +1,114 @@
+"""ROC (Definition 4) and KGP (Definition 5) condition checks."""
+
+from repro.core import (
+    AnnotationMode,
+    Catalog,
+    EmitBounds,
+    FieldMap,
+    KatBehavior,
+    SourceStats,
+    attrs,
+    map_udf,
+    reduce_udf,
+)
+from repro.core.operators import BoundProps, MapOp, ReduceOp
+from repro.optimizer import PlanContext, kgp_kat, kgp_map, roc
+from tests.conftest import identity_udf
+
+A, B, C = attrs("t.a", "t.b", "t.c")
+
+
+def props(reads=(), writes=(), branch=(), bounds=EmitBounds.exactly(1),
+          kat=KatBehavior.NOT_KAT):
+    return BoundProps(
+        reads=frozenset(reads),
+        branch_reads=frozenset(branch),
+        modified=frozenset(writes),
+        projected=frozenset(),
+        new_attrs=frozenset(),
+        emit_bounds=bounds,
+        kat_behavior=kat,
+        conservative=False,
+    )
+
+
+class TestROC:
+    def test_disjoint_ok(self):
+        assert roc(props(reads={A}), props(reads={A}))  # read/read never conflicts
+
+    def test_read_write_conflict(self):
+        assert not roc(props(reads={A}), props(writes={A}))
+        assert not roc(props(writes={A}), props(reads={A}))
+
+    def test_write_write_conflict(self):
+        assert not roc(props(writes={A}), props(writes={A}))
+
+    def test_disjoint_writes_ok(self):
+        assert roc(props(reads={A}, writes={B}), props(reads={A}, writes={C}))
+
+
+class TestKgpMap:
+    def test_exactly_one_always_preserves(self):
+        assert kgp_map(props(bounds=EmitBounds.exactly(1)), frozenset())
+
+    def test_filter_inside_key(self):
+        p = props(branch={A}, bounds=EmitBounds.at_most_one())
+        assert kgp_map(p, frozenset({A, B}))
+
+    def test_filter_outside_key(self):
+        p = props(branch={B}, bounds=EmitBounds.at_most_one())
+        assert not kgp_map(p, frozenset({A}))
+
+    def test_multi_emit_never_preserves(self):
+        p = props(bounds=EmitBounds(0, 3))
+        assert not kgp_map(p, frozenset({A}))
+
+    def test_unbounded_never_preserves(self):
+        assert not kgp_map(props(bounds=EmitBounds.unbounded()), frozenset({A}))
+
+
+class TestKgpKat:
+    def make_reduce(self, key_positions=(0,)):
+        return ReduceOp(
+            "r", reduce_udf(identity_udf), FieldMap((A, B, C)), key_positions
+        )
+
+    def test_all_or_none_with_refining_key(self):
+        op = self.make_reduce((0,))
+        p = props(bounds=EmitBounds.unbounded(), kat=KatBehavior.ALL_OR_NONE)
+        assert kgp_kat(op, p, frozenset({A, B}))  # {A} subset of {A,B}
+
+    def test_all_or_none_with_unrelated_key(self):
+        op = self.make_reduce((0,))
+        p = props(bounds=EmitBounds.unbounded(), kat=KatBehavior.ALL_OR_NONE)
+        assert not kgp_kat(op, p, frozenset({B}))
+
+    def test_one_per_group_never_preserves(self):
+        op = self.make_reduce((0,))
+        p = props(bounds=EmitBounds.exactly(1), kat=KatBehavior.ONE_PER_GROUP)
+        assert not kgp_kat(op, p, frozenset({A}))
+
+    def test_arbitrary_never_preserves(self):
+        op = self.make_reduce((0,))
+        p = props(kat=KatBehavior.ARBITRARY)
+        assert not kgp_kat(op, p, frozenset({A}))
+
+
+class TestContextDerivations:
+    def test_conservative_props_block_everything(self):
+        catalog = Catalog()
+        catalog.add_source("t", SourceStats(10))
+
+        def escapes(rec, out):
+            _helper(rec, out)
+
+        op = MapOp("m", map_udf(escapes), FieldMap((A, B)))
+        ctx = PlanContext(catalog, AnnotationMode.SCA)
+        bound = ctx.props(op)
+        assert bound.conservative
+        assert bound.reads == frozenset({A, B})
+        assert bound.writes == frozenset({A, B})
+
+
+def _helper(rec, out):
+    out.emit(rec.copy())

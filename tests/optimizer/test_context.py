@@ -1,0 +1,176 @@
+"""Plan-level derivations: schemas, unique keys, totality, join fan-out."""
+
+from repro.core import (
+    AnnotationMode,
+    Catalog,
+    EmitBounds,
+    FieldMap,
+    FieldSet,
+    MapOp,
+    MatchOp,
+    ReduceOp,
+    Sink,
+    Source,
+    SourceStats,
+    UdfProperties,
+    attrs,
+    binary_udf,
+    chain,
+    map_udf,
+    node,
+    reduce_udf,
+)
+from repro.optimizer import PlanContext
+from tests.conftest import concat_udf, identity_udf
+
+L = attrs("l.k", "l.v")
+S = attrs("s.k", "s.name")
+
+
+def fresh_ctx(declare_unique=(), references=()):
+    catalog = Catalog()
+    catalog.add_source("L", SourceStats(100))
+    catalog.add_source("S", SourceStats(10))
+    for key in declare_unique:
+        catalog.declare_unique(key)
+    for src, dst, total in references:
+        catalog.declare_reference((src,), (dst,), total=total)
+    return PlanContext(catalog, AnnotationMode.MANUAL)
+
+
+def one():
+    return UdfProperties(emit_bounds=EmitBounds.exactly(1))
+
+
+def filter_props():
+    return UdfProperties(
+        reads=FieldSet.of((0, 1)),
+        branch_reads=FieldSet.of((0, 1)),
+        emit_bounds=EmitBounds.at_most_one(),
+    )
+
+
+class TestOutAttrs:
+    def test_source_and_sink(self):
+        ctx = fresh_ctx()
+        src = node(Source("L", L))
+        assert ctx.out_attrs(src) == frozenset(L)
+        assert ctx.out_attrs(node(Sink("o"), src)) == frozenset(L)
+
+    def test_new_attrs_appear(self):
+        ctx = fresh_ctx()
+        props = UdfProperties(
+            writes_modified=FieldSet.of(2), emit_bounds=EmitBounds.exactly(1)
+        )
+        m = MapOp("m", map_udf(identity_udf, props), FieldMap(L))
+        flow = chain(Source("L", L), m)
+        out = ctx.out_attrs(flow)
+        assert frozenset(L) < out
+        assert any(a.name == "m.f2" for a in out)
+
+    def test_projection_removes(self):
+        ctx = fresh_ctx()
+        props = UdfProperties(
+            writes_projected=FieldSet.of(1), emit_bounds=EmitBounds.exactly(1)
+        )
+        m = MapOp("m", map_udf(identity_udf, props), FieldMap(L))
+        flow = chain(Source("L", L), m)
+        assert ctx.out_attrs(flow) == frozenset({L[0]})
+
+
+class TestUniqueKeys:
+    def test_source_keys_from_catalog(self):
+        ctx = fresh_ctx(declare_unique=(S[0],))
+        assert ctx.unique_keys(node(Source("S", S))) == frozenset({frozenset({S[0]})})
+
+    def test_filter_preserves_uniqueness(self):
+        ctx = fresh_ctx(declare_unique=(S[0],))
+        m = MapOp("f", map_udf(identity_udf, filter_props()), FieldMap(S))
+        flow = chain(Source("S", S), m)
+        assert ctx.is_unique(flow, frozenset({S[0]}))
+
+    def test_multi_emit_destroys_uniqueness(self):
+        ctx = fresh_ctx(declare_unique=(S[0],))
+        props = UdfProperties(emit_bounds=EmitBounds(0, 3))
+        m = MapOp("dup", map_udf(identity_udf, props), FieldMap(S))
+        flow = chain(Source("S", S), m)
+        assert not ctx.is_unique(flow, frozenset({S[0]}))
+
+    def test_writing_key_destroys_uniqueness(self):
+        ctx = fresh_ctx(declare_unique=(S[0],))
+        props = UdfProperties(
+            writes_modified=FieldSet.of(0), emit_bounds=EmitBounds.exactly(1)
+        )
+        m = MapOp("w", map_udf(identity_udf, props), FieldMap(S))
+        flow = chain(Source("S", S), m)
+        assert not ctx.is_unique(flow, frozenset({S[0]}))
+
+    def test_reduce_key_becomes_unique(self):
+        ctx = fresh_ctx()
+        r = ReduceOp("agg", reduce_udf(identity_udf, one()), FieldMap(L), (0,))
+        flow = chain(Source("L", L), r)
+        assert ctx.is_unique(flow, frozenset({L[0]}))
+
+    def test_match_with_unique_other_side_preserves(self):
+        ctx = fresh_ctx(declare_unique=(S[0], L[0]))
+        m = MatchOp("j", binary_udf(concat_udf, one()), FieldMap(L), FieldMap(S), (0,), (0,))
+        flow = node(m, node(Source("L", L)), node(Source("S", S)))
+        assert ctx.is_unique(flow, frozenset({L[0]}))
+
+    def test_match_without_unique_other_side_does_not(self):
+        ctx = fresh_ctx(declare_unique=(L[0],))
+        m = MatchOp("j", binary_udf(concat_udf, one()), FieldMap(L), FieldMap(S), (0,), (0,))
+        flow = node(m, node(Source("L", L)), node(Source("S", S)))
+        assert not ctx.is_unique(flow, frozenset({L[0]}))
+
+
+class TestRowPreserving:
+    def test_source_preserves(self):
+        ctx = fresh_ctx()
+        assert ctx.row_preserving(node(Source("L", L)))
+
+    def test_filter_does_not(self):
+        ctx = fresh_ctx()
+        m = MapOp("f", map_udf(identity_udf, filter_props()), FieldMap(L))
+        assert not ctx.row_preserving(chain(Source("L", L), m))
+
+    def test_one_to_one_map_preserves(self):
+        ctx = fresh_ctx()
+        m = MapOp("t", map_udf(identity_udf, one()), FieldMap(L))
+        assert ctx.row_preserving(chain(Source("L", L), m))
+
+    def test_join_conservatively_does_not(self):
+        ctx = fresh_ctx(declare_unique=(S[0],))
+        m = MatchOp("j", binary_udf(concat_udf, one()), FieldMap(L), FieldMap(S), (0,), (0,))
+        flow = node(m, node(Source("L", L)), node(Source("S", S)))
+        assert not ctx.row_preserving(flow)
+
+
+class TestMatchRecordBounds:
+    def make_match(self):
+        return MatchOp(
+            "j", binary_udf(concat_udf, one()), FieldMap(L), FieldMap(S), (0,), (0,)
+        )
+
+    def test_unique_total_reference_gives_exactly_one(self):
+        ctx = fresh_ctx(declare_unique=(S[0],), references=((L[0], S[0], True),))
+        bounds = ctx.match_record_bounds(self.make_match(), 0, node(Source("S", S)))
+        assert bounds.exactly_one
+
+    def test_unique_non_total_gives_at_most_one(self):
+        ctx = fresh_ctx(declare_unique=(S[0],), references=((L[0], S[0], False),))
+        bounds = ctx.match_record_bounds(self.make_match(), 0, node(Source("S", S)))
+        assert (bounds.lo, bounds.hi) == (0, 1)
+
+    def test_non_unique_gives_unbounded(self):
+        ctx = fresh_ctx()
+        bounds = ctx.match_record_bounds(self.make_match(), 0, node(Source("S", S)))
+        assert bounds.hi is None
+
+    def test_filter_below_dimension_breaks_totality(self):
+        ctx = fresh_ctx(declare_unique=(S[0],), references=((L[0], S[0], True),))
+        f = MapOp("f", map_udf(identity_udf, filter_props()), FieldMap(S))
+        filtered = chain(Source("S", S), f)
+        bounds = ctx.match_record_bounds(self.make_match(), 0, filtered)
+        assert bounds.lo == 0  # totality gone
+        assert bounds.hi == 1  # uniqueness survives the filter

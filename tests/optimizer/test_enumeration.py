@@ -1,0 +1,155 @@
+"""Enumeration: closure BFS vs the paper's Algorithm 1; memoization; limits."""
+
+import pytest
+
+from repro.core import (
+    AnnotationMode,
+    Catalog,
+    EmitBounds,
+    FieldMap,
+    FieldSet,
+    MapOp,
+    OptimizationError,
+    PlanError,
+    Sink,
+    Source,
+    SourceStats,
+    UdfProperties,
+    attrs,
+    chain,
+    map_udf,
+    node,
+    signature,
+)
+from repro.core.plan import linearize
+from repro.optimizer import (
+    PlanContext,
+    count_alternatives,
+    enum_alternatives_chain,
+    enumerate_flows,
+)
+from tests.conftest import identity_udf
+
+WIDTH = 5
+ATTRS = attrs(*(f"t.f{i}" for i in range(WIDTH)))
+FMAP = FieldMap(ATTRS)
+
+
+def make_ctx():
+    catalog = Catalog()
+    catalog.add_source("T", SourceStats(10))
+    return PlanContext(catalog, AnnotationMode.MANUAL)
+
+
+def annotated_map(name, reads=(), writes=()):
+    props = UdfProperties(
+        reads=FieldSet.of(*(((0, p)) for p in reads)),
+        writes_modified=FieldSet.of(*writes),
+        emit_bounds=EmitBounds.exactly(1),
+    )
+    return MapOp(name, map_udf(identity_udf, props), FMAP)
+
+
+def build_chain(*ops):
+    return chain(Source("T", ATTRS), *ops)
+
+
+class TestClosureVsAlgorithm1:
+    def cases(self):
+        # (ops, expected order count): conflict structure varies
+        yield [annotated_map("a", reads=(0,)), annotated_map("b", reads=(1,)),
+               annotated_map("c", reads=(2,))], 6  # all commute
+        yield [annotated_map("a", writes=(0,)), annotated_map("b", reads=(0,)),
+               annotated_map("c", reads=(3,))], 3  # a<b fixed, c free
+        # a must precede b and c (both read what a writes); b and c share
+        # only a read of field 0, which never conflicts.
+        yield [annotated_map("a", writes=(0,)), annotated_map("b", reads=(0,)),
+               annotated_map("c", writes=(1,), reads=(0,))], 2
+
+    def test_agreement_and_counts(self):
+        ctx = make_ctx()
+        for ops, expected in self.cases():
+            flow = build_chain(*ops)
+            closure = {signature(f) for f in enumerate_flows(flow, ctx)}
+            alg1 = {signature(f) for f in enum_alternatives_chain(flow, ctx)}
+            assert closure == alg1
+            assert len(closure) == expected
+
+    def test_closure_independent_of_start(self):
+        ctx = make_ctx()
+        ops = [annotated_map("a", reads=(0,)), annotated_map("b", reads=(1,)),
+               annotated_map("c", writes=(2,))]
+        flow = build_chain(*ops)
+        all_flows = enumerate_flows(flow, ctx)
+        reference = {signature(f) for f in all_flows}
+        for other_start in all_flows:
+            assert {signature(f) for f in enumerate_flows(other_start, ctx)} == reference
+
+
+class TestAlgorithm1Details:
+    def test_handles_sink(self):
+        ctx = make_ctx()
+        flow = node(Sink("out"), build_chain(annotated_map("a"), annotated_map("b")))
+        results = enum_alternatives_chain(flow, ctx)
+        assert len(results) == 2
+        assert all(isinstance(r.op, Sink) for r in results)
+
+    def test_rejects_binary_flows(self):
+        from repro.core import MatchOp, binary_udf
+        from tests.conftest import concat_udf
+
+        ctx = make_ctx()
+        other = attrs("u.x")
+        match = MatchOp(
+            "j",
+            binary_udf(concat_udf, UdfProperties(emit_bounds=EmitBounds.exactly(1))),
+            FMAP, FieldMap(other), (0,), (0,),
+        )
+        flow = node(match, build_chain(annotated_map("a")), node(Source("U", other)))
+        with pytest.raises(PlanError):
+            enum_alternatives_chain(flow, ctx)
+
+    def test_original_flow_always_included(self):
+        ctx = make_ctx()
+        flow = build_chain(annotated_map("a", writes=(0,)),
+                           annotated_map("b", reads=(0,)))
+        results = enum_alternatives_chain(flow, ctx)
+        assert signature(flow) in {signature(r) for r in results}
+
+
+class TestEnumerateFlows:
+    def test_original_is_first(self):
+        ctx = make_ctx()
+        flow = build_chain(annotated_map("a"), annotated_map("b"))
+        assert enumerate_flows(flow, ctx)[0] == flow
+
+    def test_sink_rejected(self):
+        ctx = make_ctx()
+        plan = node(Sink("out"), build_chain(annotated_map("a")))
+        with pytest.raises(PlanError):
+            enumerate_flows(plan, ctx)
+
+    def test_limit_enforced(self):
+        ctx = make_ctx()
+        ops = [annotated_map(f"m{i}", reads=(i % WIDTH,)) for i in range(5)]
+        flow = build_chain(*ops)
+        with pytest.raises(OptimizationError):
+            enumerate_flows(flow, ctx, limit=10)
+
+    def test_count_helper(self):
+        ctx = make_ctx()
+        flow = build_chain(annotated_map("a"), annotated_map("b"))
+        assert count_alternatives(flow, ctx) == 2
+
+    def test_factorial_growth_of_commuting_maps(self):
+        ctx = make_ctx()
+        ops = [annotated_map(f"m{i}", reads=(i % WIDTH,)) for i in range(4)]
+        flow = build_chain(*ops)
+        assert count_alternatives(flow, ctx) == 24
+
+    def test_orders_are_distinct_plans(self):
+        ctx = make_ctx()
+        ops = [annotated_map("a", reads=(0,)), annotated_map("b", reads=(1,))]
+        flow = build_chain(*ops)
+        orders = {linearize(f) for f in enumerate_flows(flow, ctx)}
+        assert orders == {("a", "b"), ("b", "a")}

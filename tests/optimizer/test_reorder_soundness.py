@@ -1,0 +1,137 @@
+"""Property-based soundness of reordering (the theorems of Section 4).
+
+Random UDFs + random data: every plan the enumerator derives must produce
+a bag-identical result to the original flow.  This exercises Theorems 1/2
+end to end through SCA-derived properties — if either the analyzer or the
+swap conditions were too permissive, this test would find it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AnnotationMode,
+    Catalog,
+    FieldMap,
+    MapOp,
+    ReduceOp,
+    Source,
+    SourceStats,
+    attrs,
+    chain,
+    datasets_equal,
+    evaluate,
+    map_udf,
+    project,
+    reduce_udf,
+)
+from repro.optimizer import PlanContext, enumerate_flows
+from repro.sca import parse_tac
+
+WIDTH = 3
+ATTRS = attrs(*(f"t.f{i}" for i in range(WIDTH)))
+FMAP = FieldMap(ATTRS)
+
+
+@st.composite
+def map_udf_texts(draw) -> str:
+    """Small random Map UDFs: optional filter, optional field rewrites."""
+    lines = ["f(InputRecord $ir):"]
+    guard_pos = draw(st.one_of(st.none(), st.integers(0, WIDTH - 1)))
+    if guard_pos is not None:
+        lines.append(f"$g := getField($ir, {guard_pos})")
+        lines.append(f"if $g < {draw(st.integers(-1, 1))} goto SKIP")
+    lines.append("$or := copy($ir)")
+    for i in range(draw(st.integers(0, 2))):
+        pos = draw(st.integers(0, WIDTH - 1))
+        src = draw(st.integers(0, WIDTH - 1))
+        lines.append(f"$v{i} := getField($ir, {src})")
+        lines.append(f"$w{i} := $v{i} + {draw(st.integers(1, 3))}")
+        lines.append(f"setField($or, {pos}, $w{i})")
+    lines.append("emit($or)")
+    lines.append("SKIP:")
+    lines.append("return")
+    return "\n".join(lines)
+
+
+SUM_REDUCE = """
+agg($recs):
+    $sum := 0
+    $it := iter($recs)
+L0:
+    $r := next($it) else LD
+    $v := getField($r, 1)
+    $sum := $sum + $v
+    goto L0
+LD:
+    $first := getitem($recs, 0)
+    $o := copy($first)
+    setField($o, 1, $sum)
+    emit($o)
+    return
+"""
+
+
+def make_ctx():
+    catalog = Catalog()
+    catalog.add_source("T", SourceStats(16))
+    return PlanContext(catalog, AnnotationMode.SCA)
+
+
+def rows_from(ints):
+    rows = []
+    for chunk_start in range(0, len(ints) - WIDTH + 1, WIDTH):
+        chunk = ints[chunk_start : chunk_start + WIDTH]
+        rows.append({a: v for a, v in zip(ATTRS, chunk)})
+    return rows
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    texts=st.lists(map_udf_texts(), min_size=2, max_size=3),
+    ints=st.lists(st.integers(-3, 3), min_size=WIDTH, max_size=WIDTH * 6),
+)
+def test_all_enumerated_map_chains_equivalent(texts, ints):
+    ops = [MapOp(f"m{i}", map_udf(parse_tac(t)), FMAP) for i, t in enumerate(texts)]
+    flow = chain(Source("T", ATTRS), *ops)
+    ctx = make_ctx()
+    alternatives = enumerate_flows(flow, ctx)
+    data = {"T": rows_from(ints)}
+    baseline = evaluate(flow, data)
+    for alternative in alternatives:
+        assert datasets_equal(evaluate(alternative, data), baseline)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    text=map_udf_texts(),
+    ints=st.lists(st.integers(-3, 3), min_size=WIDTH, max_size=WIDTH * 6),
+)
+def test_map_reduce_reorderings_equivalent(text, ints):
+    m = MapOp("m", map_udf(parse_tac(text)), FMAP)
+    r = ReduceOp("agg", reduce_udf(parse_tac(SUM_REDUCE)), FMAP, (0,))
+    flow = chain(Source("T", ATTRS), m, r)
+    ctx = make_ctx()
+    alternatives = enumerate_flows(flow, ctx)
+    data = {"T": rows_from(ints)}
+    baseline = project(evaluate(flow, data), (ATTRS[0], ATTRS[1]))
+    for alternative in alternatives:
+        result = project(evaluate(alternative, data), (ATTRS[0], ATTRS[1]))
+        assert datasets_equal(result, baseline)
+
+
+@settings(max_examples=40, deadline=None)
+@given(texts=st.lists(map_udf_texts(), min_size=2, max_size=2))
+def test_swap_legality_is_symmetric(texts):
+    """If m over n may swap, the swapped plan must offer the inverse swap."""
+    ctx = make_ctx()
+    ops = [MapOp(f"m{i}", map_udf(parse_tac(t)), FMAP) for i, t in enumerate(texts)]
+    flow = chain(Source("T", ATTRS), *ops)
+    alternatives = enumerate_flows(flow, ctx)
+    from repro.core import signature
+
+    for alternative in alternatives:
+        back = {signature(f) for f in enumerate_flows(alternative, ctx)}
+        assert signature(flow) in back

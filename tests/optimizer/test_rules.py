@@ -1,0 +1,230 @@
+"""Swap rules: Theorems 1-4 and Lemma 1 as pairwise legality checks."""
+
+import pytest
+
+from repro.core import (
+    AnnotationMode,
+    Catalog,
+    FieldMap,
+    MapOp,
+    MatchOp,
+    ReduceOp,
+    Source,
+    SourceStats,
+    attrs,
+    binary_udf,
+    map_udf,
+    node,
+    reduce_udf,
+)
+from repro.core.plan import linearize, render_inline
+from repro.optimizer import (
+    PlanContext,
+    can_exchange_unary_binary,
+    can_rotate,
+    can_swap_unary_unary,
+    enumerate_flows,
+)
+from tests.conftest import concat_udf, paper_f1, paper_f2, paper_f3
+
+AB = attrs("i.a", "i.b")
+RS = attrs("r.k", "r.v")
+ST = attrs("s.k", "s.w")
+
+
+def ctx_for(*sources):
+    catalog = Catalog()
+    for name, rows in sources:
+        catalog.add_source(name, SourceStats(rows))
+    return catalog, PlanContext(catalog, AnnotationMode.SCA)
+
+
+class TestTheorem1MapMap:
+    """Two Maps reorder iff the ROC condition holds."""
+
+    def setup_method(self):
+        _, self.ctx = ctx_for(("I", 10))
+        fmap = FieldMap(AB)
+        self.m1 = MapOp("m1", map_udf(paper_f1), fmap)
+        self.m2 = MapOp("m2", map_udf(paper_f2), fmap)
+        self.m3 = MapOp("m3", map_udf(paper_f3), fmap)
+
+    def test_f1_f2_reorderable(self):
+        assert can_swap_unary_unary(self.m2, self.m1, self.ctx)
+        assert can_swap_unary_unary(self.m1, self.m2, self.ctx)
+
+    def test_f2_f3_conflict_on_a(self):
+        assert not can_swap_unary_unary(self.m3, self.m2, self.ctx)
+
+    def test_f1_f3_conflict_on_b(self):
+        assert not can_swap_unary_unary(self.m3, self.m1, self.ctx)
+
+
+class TestTheorem2MapReduce:
+    """Map/Reduce reorder needs ROC plus KGP for the Reduce key."""
+
+    def setup_method(self):
+        _, self.ctx = ctx_for(("I", 10))
+        self.fmap = FieldMap(AB)
+
+        def count_group(records, out):
+            o = records[0].copy()
+            o.set_field(2, len(records))
+            out.emit(o)
+
+        self.reduce_on_a = ReduceOp(
+            "red", reduce_udf(count_group), self.fmap, (0,)
+        )
+
+    def test_filter_on_key_passes(self):
+        m = MapOp("filter_a", map_udf(paper_f2), self.fmap)  # filters on A
+        assert can_swap_unary_unary(self.reduce_on_a, m, self.ctx)
+
+    def test_filter_off_key_blocked(self):
+        def filter_b(rec, out):
+            if rec.get_field(1) > 0:
+                out.emit(rec.copy())
+
+        m = MapOp("filter_b", map_udf(filter_b), self.fmap)
+        assert not can_swap_unary_unary(self.reduce_on_a, m, self.ctx)
+
+    def test_one_to_one_map_passes(self):
+        def negate_b(rec, out):
+            r = rec.copy()
+            r.set_field(1, -rec.get_field(1))
+            out.emit(r)
+
+        m = MapOp("neg_b", map_udf(negate_b), self.fmap)
+        assert can_swap_unary_unary(self.reduce_on_a, m, self.ctx)
+
+    def test_roc_still_required(self):
+        def rewrite_key(rec, out):
+            r = rec.copy()
+            r.set_field(0, 0)
+            out.emit(r)
+
+        m = MapOp("rewrite_key", map_udf(rewrite_key), self.fmap)
+        # writes A which the Reduce reads (its key): ROC fails
+        assert not can_swap_unary_unary(self.reduce_on_a, m, self.ctx)
+
+
+class TestTheorem3MapPastBinary:
+    def setup_method(self):
+        self.catalog, self.ctx = ctx_for(("R", 10), ("S", 10))
+        self.match = MatchOp(
+            "join", binary_udf(concat_udf), FieldMap(RS), FieldMap(ST), (0,), (0,)
+        )
+        self.s_side = node(Source("S", ST))
+
+    def test_map_on_left_attrs_passes(self):
+        def touch_left(rec, out):
+            r = rec.copy()
+            r.set_field(1, rec.get_field(1) + 1)
+            out.emit(r)
+
+        m = MapOp("m", map_udf(touch_left), FieldMap(RS))
+        assert can_exchange_unary_binary(m, self.match, 0, self.s_side, self.ctx)
+
+    def test_map_reading_other_side_blocked(self):
+        combined = RS + ST
+
+        def reads_right(rec, out):
+            if rec.get_field(3) > 0:  # s.w, a right-side attribute
+                out.emit(rec.copy())
+
+        m = MapOp("m", map_udf(reads_right), FieldMap(combined))
+        assert not can_exchange_unary_binary(m, self.match, 0, self.s_side, self.ctx)
+
+
+class TestTheorem4InvariantGrouping:
+    """Reduce past Match: PK-FK join + grouping on the match key."""
+
+    def setup_method(self):
+        self.catalog, self.ctx = ctx_for(("R", 100), ("S", 10))
+
+        def agg(records, out):
+            o = records[0].copy()
+            o.set_field(1, len(records))
+            out.emit(o)
+
+        self.reduce_on_k = ReduceOp("agg", reduce_udf(agg), FieldMap(RS), (0,))
+        self.match = MatchOp(
+            "join", binary_udf(concat_udf), FieldMap(RS), FieldMap(ST), (0,), (0,)
+        )
+        self.s_side = node(Source("S", ST))
+
+    def test_blocked_without_unique_key(self):
+        assert not can_exchange_unary_binary(
+            self.reduce_on_k, self.match, 0, self.s_side, self.ctx
+        )
+
+    def test_passes_with_unique_dimension_key(self):
+        self.catalog.declare_unique(ST[0])
+        ctx = PlanContext(self.catalog, AnnotationMode.SCA)
+        assert can_exchange_unary_binary(
+            self.reduce_on_k, self.match, 0, self.s_side, ctx
+        )
+
+    def test_blocked_if_reduce_key_not_superset_of_match_key(self):
+        self.catalog.declare_unique(ST[0])
+        ctx = PlanContext(self.catalog, AnnotationMode.SCA)
+
+        def agg(records, out):
+            o = records[0].copy()
+            o.set_field(0, len(records))
+            out.emit(o)
+
+        reduce_on_v = ReduceOp("agg_v", reduce_udf(agg), FieldMap(RS), (1,))
+        assert not can_exchange_unary_binary(
+            reduce_on_v, self.match, 0, self.s_side, ctx
+        )
+
+
+class TestLemma1Rotations:
+    def setup_method(self):
+        T = attrs("t.k", "t.x")
+        self.T = T
+        self.catalog, self.ctx = ctx_for(("R", 10), ("S", 10), ("T", 10))
+        self.lower = MatchOp(
+            "j1", binary_udf(concat_udf), FieldMap(RS), FieldMap(ST), (0,), (0,)
+        )
+        # upper joins S with T (keys from S and T)
+        self.upper = MatchOp(
+            "j2", binary_udf(concat_udf), FieldMap(RS + ST), FieldMap(T),
+            (3,), (1,),  # s.w = t.x
+        )
+        self.r_node = node(Source("R", RS))
+        self.t_node = node(Source("T", T))
+
+    def test_rotation_legal_when_sides_disjoint(self):
+        # upper accesses s.w/t.x only: it may take the S side (stay = R side)
+        assert can_rotate(self.upper, self.lower, self.r_node, self.t_node, self.ctx)
+
+    def test_rotation_blocked_when_upper_needs_stay_side(self):
+        upper_on_r = MatchOp(
+            "j3", binary_udf(concat_udf), FieldMap(RS + ST), FieldMap(self.T),
+            (1,), (1,),  # r.v = t.x -- reads the R side
+        )
+        assert not can_rotate(upper_on_r, self.lower, self.r_node, self.t_node, self.ctx)
+
+    def test_non_binary_ops_rejected(self):
+        m = MapOp("m", map_udf(paper_f2), FieldMap(AB))
+        assert not can_rotate(m, self.lower, self.r_node, self.t_node, self.ctx)
+
+
+class TestSection3Enumeration:
+    def test_paper_example_plan_space(self):
+        """I -> f1 -> f2 -> f3: only f1/f2 swap, two total orders."""
+        _, ctx = ctx_for(("I", 10))
+        src = Source("I", AB)
+        fmap = FieldMap(AB)
+        flow = node(
+            MapOp("m3", map_udf(paper_f3), fmap),
+            node(
+                MapOp("m2", map_udf(paper_f2), fmap),
+                node(MapOp("m1", map_udf(paper_f1), fmap), node(src)),
+            ),
+        )
+        alternatives = enumerate_flows(flow, ctx)
+        orders = sorted(linearize(a) for a in alternatives)
+        assert orders == [("m1", "m2", "m3"), ("m2", "m1", "m3")]

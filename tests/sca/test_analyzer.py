@@ -1,0 +1,315 @@
+"""Property analyzer over TAC: the Section 3 example and edge cases."""
+
+import pytest
+
+from repro.core import KatBehavior
+from repro.core.udf import ParamKind
+from repro.sca import AnalysisEscape, analyze_tac, parse_tac
+
+REC = (ParamKind.RECORD,)
+LST = (ParamKind.RECORD_LIST,)
+
+
+def analyze(text, kinds=REC):
+    return analyze_tac(parse_tac(text), kinds)
+
+
+class TestPaperExample:
+    """Section 3: R_f1={B}, W_f1={B}; R_f2={A}, W_f2={}; R_f3={A,B}, W_f3={A}."""
+
+    def test_f1(self):
+        props = analyze(
+            """
+            f1(InputRecord $ir):
+                $b := getField($ir, 1)
+                $or := copy($ir)
+                if $b >= 0 goto L1
+                $nb := -$b
+                setField($or, 1, $nb)
+            L1:
+                emit($or)
+                return
+            """
+        )
+        assert props.reads.finite_items() == frozenset({(0, 1)})
+        assert props.writes_modified.finite_items() == frozenset({1})
+        assert (props.emit_bounds.lo, props.emit_bounds.hi) == (1, 1)
+
+    def test_f2(self):
+        props = analyze(
+            """
+            f2(InputRecord $ir):
+                $a := getField($ir, 0)
+                if $a < 0 goto L1
+                $or := copy($ir)
+                emit($or)
+            L1:
+                return
+            """
+        )
+        assert props.reads.finite_items() == frozenset({(0, 0)})
+        assert props.writes_modified.is_empty()
+        assert props.branch_reads.finite_items() == frozenset({(0, 0)})
+        assert (props.emit_bounds.lo, props.emit_bounds.hi) == (0, 1)
+
+    def test_f3(self):
+        props = analyze(
+            """
+            f3(InputRecord $ir):
+                $a := getField($ir, 0)
+                $b := getField($ir, 1)
+                $sum := $a + $b
+                $or := copy($ir)
+                setField($or, 0, $sum)
+                emit($or)
+                return
+            """
+        )
+        assert props.reads.finite_items() == frozenset({(0, 0), (0, 1)})
+        assert props.writes_modified.finite_items() == frozenset({0})
+        assert props.branch_reads.is_empty()
+
+
+class TestReadUsage:
+    def test_unused_getfield_not_a_read(self):
+        props = analyze(
+            """
+            f($ir):
+                $a := getField($ir, 0)
+                $or := copy($ir)
+                emit($or)
+                return
+            """
+        )
+        assert props.reads.is_empty()
+
+    def test_pure_copy_not_a_read(self):
+        props = analyze(
+            """
+            f($ir):
+                $a := getField($ir, 0)
+                $or := newrec($ir)
+                setField($or, 0, $a)
+                emit($or)
+                return
+            """
+        )
+        assert props.reads.is_empty()
+        assert (0, 0, 0) in props.copies
+
+    def test_copy_to_other_position_recorded(self):
+        props = analyze(
+            """
+            f($ir):
+                $a := getField($ir, 0)
+                $or := copy($ir)
+                setField($or, 1, $a)
+                emit($or)
+                return
+            """
+        )
+        assert (1, 0, 0) in props.copies
+
+    def test_taint_through_assignment_and_call(self):
+        props = analyze(
+            """
+            f($ir):
+                $a := getField($ir, 0)
+                $b := $a
+                $c := call abs($b)
+                if $c goto L
+                return
+            L:
+                $or := copy($ir)
+                emit($or)
+                return
+            """
+        )
+        assert (0, 0) in props.reads.finite_items()
+        assert (0, 0) in props.branch_reads.finite_items()
+
+    def test_dynamic_position_widens_to_all(self):
+        props = analyze(
+            """
+            f($ir):
+                $i := getField($ir, 0)
+                $v := getField($ir, $i)
+                $or := copy($ir)
+                setField($or, 1, $v)
+                emit($or)
+                return
+            """
+        )
+        assert props.reads.is_all()
+
+
+class TestWriteSets:
+    def test_implicit_projection(self):
+        props = analyze(
+            """
+            f($ir):
+                $or := newrec($ir)
+                setField($or, 0, 7)
+                emit($or)
+                return
+            """
+        )
+        assert 0 in props.writes_modified.finite_items()
+        assert props.writes_projected.cofinite
+        assert 0 not in props.writes_projected.resolve(range(4))
+
+    def test_conditional_set_on_projection_also_projected(self):
+        props = analyze(
+            """
+            f($ir):
+                $a := getField($ir, 0)
+                $or := newrec($ir)
+                if $a < 0 goto L
+                setField($or, 1, 5)
+            L:
+                emit($or)
+                return
+            """
+        )
+        # position 1 written on one path, dropped on the other
+        assert 1 in props.writes_modified.finite_items()
+        assert 1 in props.writes_projected.resolve(range(4))
+
+    def test_explicit_null_projection(self):
+        props = analyze(
+            """
+            f($ir):
+                $or := copy($ir)
+                setField($or, 1, null)
+                emit($or)
+                return
+            """
+        )
+        assert 1 in props.writes_projected.finite_items()
+
+    def test_unemitted_record_contributes_nothing(self):
+        props = analyze(
+            """
+            f($ir):
+                $scratch := copy($ir)
+                setField($scratch, 0, 1)
+                $or := copy($ir)
+                emit($or)
+                return
+            """
+        )
+        assert props.writes_modified.is_empty()
+
+    def test_dynamic_write_position_widens(self):
+        props = analyze(
+            """
+            f($ir):
+                $i := getField($ir, 1)
+                $or := copy($ir)
+                setField($or, $i, 3)
+                emit($or)
+                return
+            """
+        )
+        assert props.writes_modified.is_all()
+
+
+class TestEmitBounds:
+    def test_emit_in_loop_unbounded(self):
+        props = analyze(
+            """
+            f($recs):
+                $it := iter($recs)
+            L0:
+                $r := next($it) else LD
+                $or := copy($r)
+                emit($or)
+                goto L0
+            LD:
+                return
+            """,
+            LST,
+        )
+        assert props.emit_bounds.hi is None
+        assert props.emit_bounds.lo == 0
+
+    def test_two_exclusive_emits(self):
+        props = analyze(
+            """
+            f($ir):
+                $a := getField($ir, 0)
+                $or := copy($ir)
+                if $a < 0 goto L
+                emit($or)
+                return
+            L:
+                emit($or)
+                return
+            """
+        )
+        assert (props.emit_bounds.lo, props.emit_bounds.hi) == (1, 1)
+
+    def test_sequential_emits_add(self):
+        props = analyze(
+            """
+            f($ir):
+                $or := copy($ir)
+                emit($or)
+                emit($or)
+                return
+            """
+        )
+        assert (props.emit_bounds.lo, props.emit_bounds.hi) == (2, 2)
+
+    def test_kat_one_per_group(self):
+        props = analyze(
+            """
+            f($recs):
+                $r := getitem($recs, 0)
+                $or := copy($r)
+                emit($or)
+                return
+            """,
+            LST,
+        )
+        assert props.kat_behavior is KatBehavior.ONE_PER_GROUP
+
+
+class TestEscapes:
+    def test_record_into_opaque_call(self):
+        with pytest.raises(AnalysisEscape):
+            analyze(
+                """
+                f($ir):
+                    $x := call helper($ir)
+                    return
+                """
+            )
+
+    def test_list_into_opaque_call(self):
+        with pytest.raises(AnalysisEscape):
+            analyze("f($recs):\n    $x := call helper($recs)\n    return", LST)
+
+    def test_len_of_list_is_safe(self):
+        props = analyze(
+            """
+            f($recs):
+                $n := call len($recs)
+                $r := getitem($recs, 0)
+                $or := copy($r)
+                setField($or, 1, $n)
+                emit($or)
+                return
+            """,
+            LST,
+        )
+        assert props.origin == "sca"
+        assert 1 in props.writes_modified.finite_items()
+
+    def test_record_in_arithmetic(self):
+        with pytest.raises(AnalysisEscape):
+            analyze("f($ir):\n    $x := $ir + 1\n    return")
+
+    def test_emit_non_record(self):
+        with pytest.raises(AnalysisEscape):
+            analyze("f($ir):\n    $x := 3\n    emit($x)\n    return")

@@ -1,0 +1,128 @@
+"""TAC interpreter: TAC UDFs are executable against the record API."""
+
+import pytest
+
+from repro.core import Collector, ExecutionError, FieldMap, InputRecord, attrs
+from repro.core.record import OutputPositionResolver
+from repro.core.schema import NewAttributeFactory
+from repro.sca import execute_tac_udf, parse_tac
+
+A, B = attrs("a", "b")
+FMAP = FieldMap((A, B))
+RESOLVER = OutputPositionResolver((FMAP,), NewAttributeFactory("op"))
+
+
+def run(fn_text, values, env=None):
+    fn = parse_tac(fn_text, env)
+    collector = Collector()
+    rec = InputRecord(values, FMAP, RESOLVER)
+    execute_tac_udf(fn, (rec,), collector)
+    return collector.records()
+
+
+def test_paper_f1_abs():
+    text = """
+    f1(InputRecord $ir):
+        $b := getField($ir, 1)
+        $or := copy($ir)
+        if $b >= 0 goto L1
+        $nb := -$b
+        setField($or, 1, $nb)
+    L1:
+        emit($or)
+        return
+    """
+    assert run(text, {A: 2, B: -3}) == [{A: 2, B: 3}]
+    assert run(text, {A: 2, B: 3}) == [{A: 2, B: 3}]
+
+
+def test_filter_drops():
+    text = """
+    f2(InputRecord $ir):
+        $a := getField($ir, 0)
+        if $a < 0 goto L1
+        $or := copy($ir)
+        emit($or)
+    L1:
+        return
+    """
+    assert run(text, {A: -2, B: 0}) == []
+    assert run(text, {A: 2, B: 0}) == [{A: 2, B: 0}]
+
+
+def test_loop_over_group():
+    text = """
+    total(InputRecord $recs):
+        $sum := 0
+        $it := iter($recs)
+    L0:
+        $r := next($it) else LD
+        $v := getField($r, 1)
+        $sum := $sum + $v
+        goto L0
+    LD:
+        $first := getitem($recs, 0)
+        $o := copy($first)
+        setField($o, 1, $sum)
+        emit($o)
+        return
+    """
+    fn = parse_tac(text)
+    collector = Collector()
+    group = [InputRecord({A: 1, B: v}, FMAP, RESOLVER) for v in (3, 4, 5)]
+    execute_tac_udf(fn, (group,), collector)
+    assert collector.records() == [{A: 1, B: 12}]
+
+
+def test_opaque_call_env():
+    text = """
+    f($ir):
+        $v := getField($ir, 0)
+        $w := call double($v)
+        $o := copy($ir)
+        setField($o, 0, $w)
+        emit($o)
+        return
+    """
+    out = run(text, {A: 21, B: 0}, env={"double": lambda x: x * 2})
+    assert out == [{A: 42, B: 0}]
+
+
+def test_builtin_whitelist():
+    text = """
+    f($ir):
+        $v := getField($ir, 0)
+        $w := call abs($v)
+        $o := copy($ir)
+        setField($o, 0, $w)
+        emit($o)
+        return
+    """
+    assert run(text, {A: -5, B: 0}) == [{A: 5, B: 0}]
+
+
+def test_unknown_call_rejected():
+    text = """
+    f($ir):
+        $w := call nonexistent(1)
+        return
+    """
+    with pytest.raises(ExecutionError):
+        run(text, {A: 1, B: 2})
+
+
+def test_step_limit_stops_infinite_loops():
+    text = """
+    f($ir):
+    L:
+        goto L
+    """
+    fn = parse_tac(text)
+    rec = InputRecord({A: 1, B: 2}, FMAP, RESOLVER)
+    with pytest.raises(ExecutionError):
+        execute_tac_udf(fn, (rec,), Collector(), max_steps=100)
+
+
+def test_uninitialized_variable():
+    with pytest.raises(ExecutionError):
+        run("f($ir):\n    emit($never)\n    return", {A: 1, B: 2})

@@ -1,0 +1,183 @@
+"""CPython bytecode front-end: supported shapes and conservative bails."""
+
+import pytest
+
+from repro.core import UnsupportedBytecode
+from repro.core.udf import ParamKind
+from repro.sca import analyze_udf, compile_to_tac
+
+REC = (ParamKind.RECORD,)
+LST = (ParamKind.RECORD_LIST,)
+PAIR = (ParamKind.RECORD, ParamKind.RECORD)
+
+FIELD_POS = 1  # module-level "final variable", resolved like the paper's
+
+
+def helper_square(x):
+    return x * x
+
+
+class TestSupportedShapes:
+    def test_module_constant_field_index(self):
+        def udf(rec, out):
+            v = rec.get_field(FIELD_POS)
+            if v > 0:
+                out.emit(rec.copy())
+
+        props = analyze_udf(udf, REC)
+        assert props.origin == "sca"
+        assert props.reads.finite_items() == frozenset({(0, FIELD_POS)})
+
+    def test_local_constant_field_index(self):
+        def udf(rec, out):
+            k = 2
+            v = rec.get_field(k)
+            if v > 0:
+                out.emit(rec.copy())
+
+        props = analyze_udf(udf, REC)
+        assert props.reads.finite_items() == frozenset({(0, 2)})
+
+    def test_value_helper_call_keeps_taint(self):
+        def udf(rec, out):
+            v = helper_square(rec.get_field(0))
+            if v > 10:
+                out.emit(rec.copy())
+
+        props = analyze_udf(udf, REC)
+        assert props.origin == "sca"
+        assert (0, 0) in props.branch_reads.finite_items()
+
+    def test_loop_over_group(self):
+        def udf(records, out):
+            total = 0
+            for r in records:
+                total = total + r.get_field(1)
+            o = records[0].copy()
+            o.set_field(1, total)
+            out.emit(o)
+
+        props = analyze_udf(udf, LST)
+        assert props.origin == "sca"
+        assert (0, 1) in props.reads.finite_items()
+        assert 1 in props.writes_modified.finite_items()
+        assert props.emit_bounds.exactly_one
+
+    def test_binary_concat(self):
+        def udf(left, right, out):
+            out.emit(left.concat(right))
+
+        props = analyze_udf(udf, PAIR)
+        assert props.origin == "sca"
+        assert props.emit_bounds.exactly_one
+        assert props.reads.is_empty()
+
+    def test_binary_reads_both_sides(self):
+        def udf(left, right, out):
+            if left.get_field(0) > right.get_field(1):
+                out.emit(left.concat(right))
+
+        props = analyze_udf(udf, PAIR)
+        assert props.reads.finite_items() == frozenset({(0, 0), (1, 1)})
+
+    def test_boolean_and_chain(self):
+        def udf(rec, out):
+            a = rec.get_field(0)
+            b = rec.get_field(1)
+            if a > 0 and b > 0:
+                out.emit(rec.copy())
+
+        props = analyze_udf(udf, REC)
+        assert props.branch_reads.finite_items() == frozenset({(0, 0), (0, 1)})
+
+    def test_chained_comparison(self):
+        def udf(rec, out):
+            if 0 <= rec.get_field(0) <= 10:
+                out.emit(rec.copy())
+
+        props = analyze_udf(udf, REC)
+        assert props.origin == "sca"
+        assert (0, 0) in props.branch_reads.finite_items()
+
+    def test_string_method_on_value(self):
+        def udf(rec, out):
+            if rec.get_field(0).startswith("x"):
+                out.emit(rec.copy())
+
+        props = analyze_udf(udf, REC)
+        assert props.origin == "sca"
+        assert (0, 0) in props.branch_reads.finite_items()
+
+    def test_is_none_pattern(self):
+        def udf(rec, out):
+            if rec.get_field(0) is None:
+                return
+            out.emit(rec.copy())
+
+        props = analyze_udf(udf, REC)
+        assert props.origin == "sca"
+        assert (0, 0) in props.branch_reads.finite_items()
+
+
+class TestConservativeBails:
+    def assert_conservative(self, udf, kinds=REC):
+        props = analyze_udf(udf, kinds)
+        assert props.is_conservative()
+        return props
+
+    def test_record_escaping_to_helper(self):
+        def helper(rec):
+            return rec.get_field(0) == "x"
+
+        def udf(rec, out):
+            if helper(rec):
+                out.emit(rec.copy())
+
+        self.assert_conservative(udf)
+
+    def test_group_escaping_to_helper(self):
+        def helper(records):
+            return len(records) > 2
+
+        def udf(records, out):
+            if helper(records):
+                for r in records:
+                    out.emit(r.copy())
+
+        self.assert_conservative(udf, LST)
+
+    def test_try_except(self):
+        def udf(rec, out):
+            try:
+                out.emit(rec.copy())
+            except ValueError:
+                pass
+
+        self.assert_conservative(udf)
+
+    def test_closure(self):
+        threshold = 5
+
+        def udf(rec, out):
+            if rec.get_field(0) > threshold:  # captures a closure cell
+                out.emit(rec.copy())
+
+        self.assert_conservative(udf)
+
+    def test_list_comprehension_over_records(self):
+        def udf(records, out):
+            kept = [r for r in records]  # MAKE_FUNCTION in 3.11
+            for r in kept:
+                out.emit(r.copy())
+
+        self.assert_conservative(udf, LST)
+
+    def test_not_a_function(self):
+        with pytest.raises(UnsupportedBytecode):
+            compile_to_tac("not callable", REC)
+
+    def test_generator_udf(self):
+        def udf(rec, out):
+            yield rec
+
+        self.assert_conservative(udf)

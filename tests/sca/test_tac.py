@@ -1,0 +1,157 @@
+"""TAC parser, CFG construction, reaching definitions, and chains."""
+
+import pytest
+
+from repro.core import AnalysisError
+from repro.sca import ControlFlowGraph, build_chains, parse_tac, reaching_definitions
+from repro.sca.tac import (
+    BinOp,
+    CopyRec,
+    Emit,
+    GetField,
+    Goto,
+    IfTrue,
+    Return,
+    SetField,
+)
+
+F2_TEXT = """
+f2(InputRecord $ir):
+    $a := getField($ir, 0)
+    if $a < 0 goto L1
+    $or := copy($ir)
+    emit($or)
+L1:
+    return
+"""
+
+LOOP_TEXT = """
+loopy(InputRecord $recs):
+    $it := iter($recs)
+L0:
+    $r := next($it) else LEND
+    $or := copy($r)
+    emit($or)
+    goto L0
+LEND:
+    return
+"""
+
+
+class TestParser:
+    def test_paper_f2_shape(self):
+        fn = parse_tac(F2_TEXT)
+        kinds = [type(i) for i in fn.instructions]
+        assert kinds == [GetField, BinOp, IfTrue, CopyRec, Emit, Return]
+        branch = fn.instructions[2]
+        assert branch.target == 5  # L1 resolves to the return
+
+    def test_comparison_sugar_lowered(self):
+        fn = parse_tac(F2_TEXT)
+        compare = fn.instructions[1]
+        assert compare.op == "<"
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(AnalysisError):
+            parse_tac("f($r):\n    goto NOWHERE")
+
+    def test_operand_kinds(self):
+        fn = parse_tac(
+            """
+            f($r):
+                $x := 3
+                $y := 'abc'
+                $z := true
+                $n := null
+                return
+            """
+        )
+        values = [i.value for i in fn.instructions[:4]]
+        assert values == [3, "abc", True, None]
+
+    def test_setfield_and_arith(self):
+        fn = parse_tac(
+            """
+            f($r):
+                $a := getField($r, 1)
+                $b := $a * 2
+                $o := copy($r)
+                setField($o, 1, $b)
+                emit($o)
+                return
+            """
+        )
+        assert isinstance(fn.instructions[3], SetField)
+
+    def test_malformed_statement(self):
+        with pytest.raises(AnalysisError):
+            parse_tac("f($r):\n    frobnicate everything")
+
+    def test_goto(self):
+        fn = parse_tac("f($r):\nL:\n    goto L")
+        assert isinstance(fn.instructions[0], Goto)
+        assert fn.instructions[0].target == 0
+
+
+class TestCFG:
+    def test_blocks_of_f2(self):
+        cfg = ControlFlowGraph(parse_tac(F2_TEXT))
+        # blocks: [get,cmp,if] [copy,emit] [return]
+        assert len(cfg.blocks) == 3
+        assert cfg.blocks[0].successors == [1, 2]
+        assert cfg.blocks[1].successors == [2]
+        assert cfg.exit_blocks == [2]
+
+    def test_loop_has_back_edge(self):
+        cfg = ControlFlowGraph(parse_tac(LOOP_TEXT))
+        sccs = cfg.sccs()
+        cyclic = [i for i in range(len(sccs)) if cfg.scc_is_cyclic(i)]
+        assert len(cyclic) == 1
+
+    def test_dominators(self):
+        cfg = ControlFlowGraph(parse_tac(F2_TEXT))
+        dom = cfg.dominators()
+        assert 0 in dom[1]  # entry dominates the emit block
+        assert 1 not in dom[2]  # the emit block does not dominate the exit
+
+    def test_instr_dominates_same_block(self):
+        cfg = ControlFlowGraph(parse_tac(F2_TEXT))
+        assert cfg.instr_dominates(0, 2)
+        assert not cfg.instr_dominates(2, 0)
+
+
+class TestDataflow:
+    def test_reaching_definitions(self):
+        fn = parse_tac(
+            """
+            f($r):
+                $x := 1
+                $y := getField($r, 0)
+                if $y goto L
+                $x := 2
+            L:
+                $z := $x + 0
+                return
+            """
+        )
+        cfg = ControlFlowGraph(fn)
+        reaching = reaching_definitions(cfg)
+        use_index = next(
+            i for i, ins in enumerate(fn.instructions) if isinstance(ins, BinOp) and ins.op == "+"
+        )
+        defs_of_x = {d for d in reaching.reach_in[use_index] if d[1] == "$x"}
+        assert len(defs_of_x) == 2  # both definitions of $x reach the join
+
+    def test_chains(self):
+        fn = parse_tac(F2_TEXT)
+        cfg = ControlFlowGraph(fn)
+        chains = build_chains(cfg)
+        # $a defined at 0, used at 1 (the comparison)
+        assert chains.uses_of(0, "$a") == frozenset({1})
+        assert (0, "$a") in chains.defs_for(1, "$a")
+
+    def test_param_definitions_reach_uses(self):
+        fn = parse_tac(F2_TEXT)
+        chains = build_chains(ControlFlowGraph(fn))
+        defs = chains.defs_for(0, "$ir")
+        assert any(idx < 0 for idx, _ in defs)  # parameter pseudo-definition

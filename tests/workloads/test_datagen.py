@@ -1,0 +1,101 @@
+"""Data generators: determinism, integrity, configurable scales."""
+
+from repro.datagen import (
+    ClickScale,
+    CorpusScale,
+    TpchScale,
+    generate_clickstream,
+    generate_corpus,
+    generate_tpch,
+)
+from repro.datagen.textcorpus import (
+    extract_relations,
+    find_drugs,
+    find_genes,
+    find_mesh_terms,
+    find_species,
+    pos_tag,
+    tokenize,
+)
+
+
+class TestTpch:
+    def test_deterministic(self):
+        left = generate_tpch(seed=5)
+        right = generate_tpch(seed=5)
+        assert left.lineitem == right.lineitem
+        assert generate_tpch(seed=6).lineitem != left.lineitem
+
+    def test_referential_integrity(self):
+        data = generate_tpch(TpchScale(suppliers=20, customers=30, orders=100))
+        nations = {n["nationkey"] for n in data.nation}
+        suppliers = {s["suppkey"] for s in data.supplier}
+        customers = {c["custkey"] for c in data.customer}
+        orders = {o["orderkey"] for o in data.orders}
+        assert all(s["nationkey"] in nations for s in data.supplier)
+        assert all(c["nationkey"] in nations for c in data.customer)
+        assert all(o["custkey"] in customers for o in data.orders)
+        assert all(l["orderkey"] in orders for l in data.lineitem)
+        assert all(l["suppkey"] in suppliers for l in data.lineitem)
+
+    def test_keys_unique(self):
+        data = generate_tpch(TpchScale(suppliers=10, customers=10, orders=50))
+        assert len({o["orderkey"] for o in data.orders}) == len(data.orders)
+        assert len({s["suppkey"] for s in data.supplier}) == len(data.supplier)
+
+    def test_shipdate_after_orderdate(self):
+        data = generate_tpch(TpchScale(orders=50))
+        order_dates = {o["orderkey"]: o["orderdate"] for o in data.orders}
+        assert all(l["shipdate"] > order_dates[l["orderkey"]] for l in data.lineitem)
+
+    def test_scaled(self):
+        scale = TpchScale().scaled(0.1)
+        assert scale.suppliers == 10
+        assert scale.orders == 150
+
+
+class TestClickstream:
+    def test_deterministic(self):
+        assert generate_clickstream(seed=1).clicks == generate_clickstream(seed=1).clicks
+
+    def test_login_unique_per_session(self):
+        data = generate_clickstream(ClickScale(sessions=200))
+        session_ids = [l["session_id"] for l in data.logins]
+        assert len(session_ids) == len(set(session_ids))
+
+    def test_users_unique_and_selective(self):
+        scale = ClickScale(sessions=200, user_info_fraction=0.5, users=100)
+        data = generate_clickstream(scale)
+        user_ids = [u["user_id"] for u in data.users]
+        assert len(user_ids) == len(set(user_ids))
+        assert 0 < len(user_ids) < scale.users  # deliberately non-total
+
+    def test_buy_sessions_exist_and_not_all(self):
+        data = generate_clickstream(ClickScale(sessions=300))
+        buys = {c["session_id"] for c in data.clicks if c["action"] == "buy"}
+        all_sessions = {c["session_id"] for c in data.clicks}
+        assert buys and buys < all_sessions
+
+
+class TestCorpus:
+    def test_deterministic(self):
+        assert generate_corpus(seed=2).documents == generate_corpus(seed=2).documents
+
+    def test_entity_occurrence_rates(self):
+        scale = CorpusScale(documents=800)
+        data = generate_corpus(scale)
+        with_genes = sum(
+            1 for d in data.documents if find_genes(tokenize(d["text"]))
+        )
+        rate = with_genes / len(data.documents)
+        assert abs(rate - scale.p_gene) < 0.08
+
+    def test_nlp_components(self):
+        tokens = tokenize("GEN001 binds drugazol02 in homo_sapiens mesh_term_01")
+        assert find_genes(tokens) == ("GEN001",)
+        assert find_drugs(tokens) == ("drugazol02",)
+        assert find_mesh_terms(tokens) == ("mesh_term_01",)
+        assert find_species(tokens) == ("homo_sapiens",)
+        assert len(pos_tag(tokens)) == len(tokens)
+        relations = extract_relations(("GEN001",), ("drugazol02",))
+        assert all("~" in r for r in relations)
