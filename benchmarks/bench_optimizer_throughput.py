@@ -1,0 +1,89 @@
+"""Optimizer throughput: memoized vs. unmemoized enumerate-and-cost.
+
+The hash-consed plan representation and the shared Volcano memo table
+(one ``PhysicalOptimizer`` reused across every enumerated alternative)
+amortize sub-plan optimization across the whole plan space.  This
+benchmark times the full optimize pipeline (enumeration + costing +
+ranking) on all four workloads with and without the shared memo, emits
+the numbers as JSON (plans/sec and total seconds), and asserts that the
+memoized results are plan-for-plan identical to the unmemoized
+reference: same ranked order, same costs, same ships and local
+strategies.
+"""
+
+import json
+import time
+
+from conftest import write_result
+
+from repro.core import AnnotationMode
+from repro.core.plan import signature
+from repro.optimizer import Optimizer
+
+
+def _optimize(workload, reuse_memo):
+    optimizer = Optimizer(
+        workload.catalog,
+        workload.hints,
+        AnnotationMode.SCA,
+        workload.params,
+        reuse_memo=reuse_memo,
+    )
+    start = time.perf_counter()
+    result = optimizer.optimize(workload.plan)
+    return result, time.perf_counter() - start
+
+
+def assert_plans_identical(memoized, reference):
+    assert memoized.plan_count == reference.plan_count
+    for got, want in zip(memoized.ranked, reference.ranked):
+        assert got.rank == want.rank
+        assert signature(got.body) == signature(want.body)
+        assert got.cost == want.cost
+        assert got.physical.describe() == want.physical.describe()
+
+
+def run_throughput(workloads):
+    report = {}
+    for w in workloads:
+        # Warm the one-time operator-level caches (SCA analysis, property
+        # binding) so the timed runs compare pure enumerate-and-cost work.
+        _optimize(w, reuse_memo=True)
+        reference, ref_s = _optimize(w, reuse_memo=False)
+        memoized, memo_s = _optimize(w, reuse_memo=True)
+        assert_plans_identical(memoized, reference)
+        plans = memoized.plan_count
+        report[w.name] = {
+            "plans": plans,
+            "memoized_seconds": memo_s,
+            "unmemoized_seconds": ref_s,
+            "memoized_plans_per_sec": plans / memo_s if memo_s else float("inf"),
+            "unmemoized_plans_per_sec": plans / ref_s if ref_s else float("inf"),
+            "speedup": ref_s / memo_s if memo_s else float("inf"),
+        }
+    return report
+
+
+def test_optimizer_throughput(
+    benchmark,
+    q7_workload,
+    q15_workload,
+    clickstream_workload,
+    textmining_workload,
+    results_dir,
+):
+    workloads = [q7_workload, q15_workload, clickstream_workload, textmining_workload]
+    report = benchmark.pedantic(
+        run_throughput, args=(workloads,), rounds=1, iterations=1
+    )
+    write_result(
+        results_dir,
+        "optimizer_throughput.json",
+        json.dumps(report, indent=2, sort_keys=True),
+    )
+
+    # The memoized path must never be slower than ~par with the reference;
+    # on the large Q7 plan space the shared memo is a clear win.
+    assert report["tpch_q7"]["speedup"] > 1.5
+    for stats in report.values():
+        assert stats["plans"] >= 1

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.plan import signature
 from ..core.udf import AnnotationMode
 from ..engine.executor import Engine, ExecutionResult
 from ..optimizer.cost import CostParams
@@ -69,7 +68,9 @@ def run_experiment(
     params = params or workload.params
     optimizer = Optimizer(workload.catalog, workload.hints, mode, params)
     result = optimizer.optimize(workload.plan)
-    engine = Engine(params, workload.true_costs)
+    # Rank-picked plans share most of their physical subtrees; reuse
+    # their deterministic execution results across the picks.
+    engine = Engine(params, workload.true_costs, reuse_subtree_results=True)
 
     outcome = ExperimentOutcome(
         workload=workload.name,
@@ -77,7 +78,6 @@ def run_experiment(
         enumeration_seconds=result.enumeration_seconds,
         optimization=result,
     )
-    original_sig = signature(result.original_body)
     chosen = result.ranked if execute_all else result.picks(picks)
     for plan in chosen:
         execution = engine.execute(plan.physical, workload.data)
@@ -87,7 +87,8 @@ def run_experiment(
                 estimated_cost=plan.cost,
                 runtime_seconds=execution.seconds,
                 runtime_label=execution.report.minutes_label(),
-                is_original=signature(plan.body) == original_sig,
+                # interned plans: structural equality is object identity
+                is_original=plan.body is result.original_body,
                 result=execution,
             )
         )

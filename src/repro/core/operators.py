@@ -12,7 +12,7 @@ enumerated alternative of a plan, which keeps attribute naming stable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from .errors import PlanError, SchemaError
 from .properties import EmitBounds, KatBehavior, UdfProperties
@@ -38,14 +38,16 @@ class BoundProps:
     emit_bounds: EmitBounds
     kat_behavior: KatBehavior
     conservative: bool
+    # Derived unions, precomputed once: the reordering conditions consult
+    # these on every legality check of the enumeration.
+    writes: frozenset[Attribute] = field(init=False)
+    accessed: frozenset[Attribute] = field(init=False)
 
-    @property
-    def writes(self) -> frozenset[Attribute]:
-        return self.modified | self.projected | self.new_attrs
-
-    @property
-    def accessed(self) -> frozenset[Attribute]:
-        return self.reads | self.writes
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "writes", self.modified | self.projected | self.new_attrs
+        )
+        object.__setattr__(self, "accessed", self.reads | self.writes)
 
 
 class Operator:
@@ -221,16 +223,18 @@ class ReduceOp(UdfOperator):
         if not key_positions:
             raise PlanError(f"Reduce {name!r} needs at least one key position")
         self.key_positions = tuple(key_positions)
+        self._key_tuple = tuple(input_map.attr_at(p) for p in self.key_positions)
+        self._key_attrs = frozenset(self._key_tuple)
 
     @property
     def input_map(self) -> FieldMap:
         return self.input_maps[0]
 
     def key_attrs(self) -> frozenset[Attribute]:
-        return frozenset(self.input_map.attr_at(p) for p in self.key_positions)
+        return self._key_attrs
 
     def key_attr_tuple(self) -> tuple[Attribute, ...]:
-        return tuple(self.input_map.attr_at(p) for p in self.key_positions)
+        return self._key_tuple
 
 
 class CrossOp(UdfOperator):
@@ -273,6 +277,15 @@ class MatchOp(UdfOperator):
             raise PlanError(f"Match {name!r}: malformed key positions")
         self.left_key_positions = tuple(left_key_positions)
         self.right_key_positions = tuple(right_key_positions)
+        self._left_key_tuple = tuple(
+            left_map.attr_at(p) for p in self.left_key_positions
+        )
+        self._right_key_tuple = tuple(
+            right_map.attr_at(p) for p in self.right_key_positions
+        )
+        self._key_attrs = frozenset(self._left_key_tuple) | frozenset(
+            self._right_key_tuple
+        )
 
     @property
     def left_map(self) -> FieldMap:
@@ -283,18 +296,18 @@ class MatchOp(UdfOperator):
         return self.input_maps[1]
 
     def left_key_attrs(self) -> tuple[Attribute, ...]:
-        return tuple(self.left_map.attr_at(p) for p in self.left_key_positions)
+        return self._left_key_tuple
 
     def right_key_attrs(self) -> tuple[Attribute, ...]:
-        return tuple(self.right_map.attr_at(p) for p in self.right_key_positions)
+        return self._right_key_tuple
 
     def side_key_attrs(self, side: int) -> tuple[Attribute, ...]:
-        return self.left_key_attrs() if side == 0 else self.right_key_attrs()
+        return self._left_key_tuple if side == 0 else self._right_key_tuple
 
     def key_attrs(self) -> frozenset[Attribute]:
         # The conceptual transformation of Section 4.3.1 adds the keys to the
         # read set of the Match UDF (f').
-        return frozenset(self.left_key_attrs()) | frozenset(self.right_key_attrs())
+        return self._key_attrs
 
 
 class CoGroupOp(UdfOperator):
@@ -317,6 +330,15 @@ class CoGroupOp(UdfOperator):
             raise PlanError(f"CoGroup {name!r}: malformed key positions")
         self.left_key_positions = tuple(left_key_positions)
         self.right_key_positions = tuple(right_key_positions)
+        self._left_key_tuple = tuple(
+            left_map.attr_at(p) for p in self.left_key_positions
+        )
+        self._right_key_tuple = tuple(
+            right_map.attr_at(p) for p in self.right_key_positions
+        )
+        self._key_attrs = frozenset(self._left_key_tuple) | frozenset(
+            self._right_key_tuple
+        )
 
     @property
     def left_map(self) -> FieldMap:
@@ -327,13 +349,13 @@ class CoGroupOp(UdfOperator):
         return self.input_maps[1]
 
     def left_key_attrs(self) -> tuple[Attribute, ...]:
-        return tuple(self.left_map.attr_at(p) for p in self.left_key_positions)
+        return self._left_key_tuple
 
     def right_key_attrs(self) -> tuple[Attribute, ...]:
-        return tuple(self.right_map.attr_at(p) for p in self.right_key_positions)
+        return self._right_key_tuple
 
     def side_key_attrs(self, side: int) -> tuple[Attribute, ...]:
-        return self.left_key_attrs() if side == 0 else self.right_key_attrs()
+        return self._left_key_tuple if side == 0 else self._right_key_tuple
 
     def key_attrs(self) -> frozenset[Attribute]:
-        return frozenset(self.left_key_attrs()) | frozenset(self.right_key_attrs())
+        return self._key_attrs

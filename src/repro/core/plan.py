@@ -1,14 +1,19 @@
-"""Data flow plans as immutable operator trees.
+"""Data flow plans as immutable, hash-consed operator trees.
 
 A plan is a tree of :class:`Node` objects whose leaves are sources and whose
-root is usually a sink.  Nodes are hashable and compare structurally (with
-operators compared by identity), so sets of enumerated alternatives
-deduplicate naturally and caches can key on nodes.
+root is usually a sink.  Nodes are *interned*: constructing a node that is
+structurally equal to an existing one (same operator object, same child
+nodes) returns the existing object, so structural equality is object
+identity, ``hash`` is O(1), and every cache keyed on nodes (enumeration
+seen-sets, cardinality estimates, physical-plan memo tables) becomes an
+identity lookup.  The structural :func:`signature` of a node is computed
+once at construction from the already-cached child signatures — no
+recursive re-walk per lookup.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import weakref
 from typing import Callable, Iterator
 
 from .errors import PlanError
@@ -25,19 +30,59 @@ from .operators import (
 )
 
 
-@dataclass(frozen=True, slots=True)
 class Node:
-    """One operator application over child sub-flows."""
+    """One operator application over child sub-flows (hash-consed).
+
+    Operators compare by identity, so the intern table keys on
+    ``(op, children)`` where the children are themselves interned nodes;
+    tuple equality over the key is then pure identity comparison.  The
+    table holds weak references to the nodes so dropped plans are
+    reclaimed; a parent's key tuple keeps its children alive exactly as
+    long as the parent itself is.
+    """
+
+    __slots__ = ("op", "children", "signature", "_hash", "__weakref__")
+
+    _intern: "weakref.WeakValueDictionary[tuple, Node]" = (
+        weakref.WeakValueDictionary()
+    )
 
     op: Operator
-    children: tuple["Node", ...] = ()
+    children: tuple["Node", ...]
+    signature: tuple
+    _hash: int
 
-    def __post_init__(self) -> None:
-        if len(self.children) != self.op.arity:
+    def __new__(cls, op: Operator, children: tuple["Node", ...] = ()) -> "Node":
+        children = tuple(children)
+        key = (op, children)
+        existing = cls._intern.get(key)
+        if existing is not None:
+            return existing
+        if len(children) != op.arity:
             raise PlanError(
-                f"operator {self.op.name!r} has arity {self.op.arity} but got "
-                f"{len(self.children)} children"
+                f"operator {op.name!r} has arity {op.arity} but got "
+                f"{len(children)} children"
             )
+        self = super().__new__(cls)
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "children", children)
+        object.__setattr__(
+            self,
+            "signature",
+            (op.name,) + tuple(c.signature for c in children),
+        )
+        # Identity hash is sound: interning makes structural equality
+        # coincide with object identity (and parents' intern keys hash
+        # children through this, so equal keys still collide correctly).
+        object.__setattr__(self, "_hash", object.__hash__(self))
+        cls._intern[key] = self
+        return self
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Node is immutable")
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def with_children(self, children: tuple["Node", ...]) -> "Node":
         return Node(self.op, children)
@@ -79,8 +124,11 @@ def operators_of(root: Node) -> list[Operator]:
 
 
 def signature(root: Node) -> tuple:
-    """Structural identity of a plan (operator names + shape)."""
-    return (root.op.name,) + tuple(signature(c) for c in root.children)
+    """Structural identity of a plan (operator names + shape).
+
+    Cached on the node at construction time; this accessor is O(1).
+    """
+    return root.signature
 
 
 def replace_subtree(root: Node, old: Node, new: Node) -> Node:

@@ -28,10 +28,25 @@ from .schema import Attribute, FieldMap, NewAttributeFactory
 RawRecord = dict[Attribute, Any]
 
 
+# Exact-type fast path: sizing runs once per value per ship/spill, so it
+# sits on the engine's hot path.  Subclasses fall through to the
+# isinstance chain, preserving the original semantics (bool before int).
+_SCALAR_BYTES: dict[type, int] = {
+    type(None): 1,
+    bool: 1,
+    int: 8,
+    float: 8,
+}
+
+
 def value_bytes(value: Any) -> int:
     """Estimated serialized size of a single value, in bytes."""
-    if value is None:
-        return 1
+    kind = type(value)
+    size = _SCALAR_BYTES.get(kind)
+    if size is not None:
+        return size
+    if kind is str:
+        return 4 + len(value)
     if isinstance(value, bool):
         return 1
     if isinstance(value, int):
@@ -47,7 +62,17 @@ def value_bytes(value: Any) -> int:
 
 def record_bytes(record: RawRecord) -> int:
     """Estimated serialized size of a record (values plus per-field header)."""
-    return sum(2 + value_bytes(v) for v in record.values())
+    total = 2 * len(record)
+    scalar = _SCALAR_BYTES
+    for value in record.values():
+        size = scalar.get(type(value))
+        if size is not None:
+            total += size
+        elif type(value) is str:
+            total += 4 + len(value)
+        else:
+            total += value_bytes(value)
+    return total
 
 
 class OutputPositionResolver:
@@ -105,14 +130,19 @@ class InputRecord:
         self._resolver = resolver
 
     def get_field(self, position: int) -> Any:
-        attr = self._field_map.attr_at(position)
         try:
-            return self._values[attr]
+            # fast path: in-range position, attribute present
+            if position >= 0:
+                return self._values[self._field_map.attributes[position]]
         except KeyError:
+            attr = self._field_map.attr_at(position)
             raise UdfError(
                 f"attribute {attr.name} absent at runtime; the plan projects "
                 "it away before this operator"
             ) from None
+        except IndexError:
+            pass
+        return self._values[self._field_map.attr_at(position)]  # raises
 
     def copy(self) -> "OutputRecord":
         """Implicit-copy constructor: output starts as a full copy."""
@@ -185,10 +215,14 @@ class Collector:
 
     def emit(self, record: InputRecord | OutputRecord) -> None:
         if isinstance(record, OutputRecord):
+            # The UDF may keep mutating the output record after emitting
+            # it, so the emitted snapshot must be a copy.
             self._out.append(dict(record.raw()))
         elif isinstance(record, InputRecord):
-            # Emitting an input record is an implicit full copy.
-            self._out.append(dict(record.raw()))
+            # Emitting an input record is an implicit full copy; the view
+            # is read-only and records are never mutated once emitted, so
+            # the underlying dict can be shared instead of copied.
+            self._out.append(record.raw())
         else:
             raise UdfError(f"emit() expects a record, got {type(record).__name__}")
 

@@ -56,7 +56,7 @@ def _wrap_all(op: UdfOperator, input_index: int, rows: list[RawRecord]) -> list[
 
 def key_of(row: RawRecord, key_attrs: tuple[Attribute, ...]) -> tuple:
     try:
-        return tuple(row[a] for a in key_attrs)
+        return tuple(map(row.__getitem__, key_attrs))
     except KeyError as exc:
         raise ExecutionError(
             f"key attribute {exc.args[0]} missing from record at runtime"
@@ -76,10 +76,21 @@ def group_by(rows: list[RawRecord], key_attrs: tuple[Attribute, ...]) -> dict[tu
 
 
 def apply_map(op: MapOp, rows: list[RawRecord]) -> list[RawRecord]:
-    out: list[RawRecord] = []
+    fn = op.udf.fn
+    if not callable(fn):
+        out: list[RawRecord] = []
+        for row in rows:
+            out.extend(call_udf(op, _wrap(op, 0, row)))
+        return out
+    # hot path: hoist the wrapper components and share one collector —
+    # emissions only ever concatenate, so per-call collectors are pure
+    # overhead (the record API seen by the UDF is unchanged)
+    fmap = op.input_maps[0]
+    resolver = op.resolver
+    collector = Collector()
     for row in rows:
-        out.extend(call_udf(op, _wrap(op, 0, row)))
-    return out
+        fn(InputRecord(row, fmap, resolver), collector)
+    return collector._out
 
 
 def apply_reduce(op: ReduceOp, rows: list[RawRecord]) -> list[RawRecord]:
@@ -90,26 +101,50 @@ def apply_reduce(op: ReduceOp, rows: list[RawRecord]) -> list[RawRecord]:
 
 
 def apply_cross(op: CrossOp, left: list[RawRecord], right: list[RawRecord]) -> list[RawRecord]:
-    out: list[RawRecord] = []
+    fn = op.udf.fn
+    if not callable(fn):
+        out: list[RawRecord] = []
+        for l_row in left:
+            l_rec = _wrap(op, 0, l_row)
+            for r_row in right:
+                out.extend(call_udf(op, l_rec, _wrap(op, 1, r_row)))
+        return out
+    l_map, r_map = op.input_maps
+    resolver = op.resolver
+    collector = Collector()
     for l_row in left:
-        l_rec = _wrap(op, 0, l_row)
+        l_rec = InputRecord(l_row, l_map, resolver)
         for r_row in right:
-            out.extend(call_udf(op, l_rec, _wrap(op, 1, r_row)))
-    return out
+            fn(l_rec, InputRecord(r_row, r_map, resolver), collector)
+    return collector._out
 
 
 def apply_match(op: MatchOp, left: list[RawRecord], right: list[RawRecord]) -> list[RawRecord]:
     right_index = group_by(right, op.right_key_attrs())
     left_keys = op.left_key_attrs()
-    out: list[RawRecord] = []
+    fn = op.udf.fn
+    if not callable(fn):
+        out: list[RawRecord] = []
+        for l_row in left:
+            matches = right_index.get(key_of(l_row, left_keys))
+            if not matches:
+                continue
+            l_rec = _wrap(op, 0, l_row)
+            for r_row in matches:
+                out.extend(call_udf(op, l_rec, _wrap(op, 1, r_row)))
+        return out
+    # hot path: hoist the wrapper components and share one collector
+    l_map, r_map = op.input_maps
+    resolver = op.resolver
+    collector = Collector()
     for l_row in left:
         matches = right_index.get(key_of(l_row, left_keys))
         if not matches:
             continue
-        l_rec = _wrap(op, 0, l_row)
+        l_rec = InputRecord(l_row, l_map, resolver)
         for r_row in matches:
-            out.extend(call_udf(op, l_rec, _wrap(op, 1, r_row)))
-    return out
+            fn(l_rec, InputRecord(r_row, r_map, resolver), collector)
+    return collector._out
 
 
 def apply_cogroup(op: CoGroupOp, left: list[RawRecord], right: list[RawRecord]) -> list[RawRecord]:
@@ -148,7 +183,16 @@ def apply_operator(op: UdfOperator, inputs: list[list[RawRecord]]) -> list[RawRe
 
 
 def evaluate(root: Node, data: SourceData) -> list[RawRecord]:
-    """Evaluate a plan tree and return its output records."""
+    """Evaluate a plan tree and return its output records.
+
+    Internally records flow by reference (emitting an input record shares
+    the underlying dict); the returned records are copies, so callers may
+    mutate them without corrupting the source data.
+    """
+    return [dict(r) for r in _evaluate(root, data)]
+
+
+def _evaluate(root: Node, data: SourceData) -> list[RawRecord]:
     op = root.op
     if isinstance(op, Source):
         try:
@@ -156,9 +200,9 @@ def evaluate(root: Node, data: SourceData) -> list[RawRecord]:
         except KeyError:
             raise ExecutionError(f"no data bound for source {op.name!r}") from None
     if isinstance(op, Sink):
-        return evaluate(root.only_child, data)
+        return _evaluate(root.only_child, data)
     if isinstance(op, UdfOperator):
-        inputs = [evaluate(child, data) for child in root.children]
+        inputs = [_evaluate(child, data) for child in root.children]
         return apply_operator(op, inputs)
     raise ExecutionError(f"cannot evaluate operator {op!r}")
 

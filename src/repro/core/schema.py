@@ -30,9 +30,19 @@ class Attribute:
     Attributes compare by name; creating two ``Attribute`` objects with the
     same name yields equal attributes (convenient for tests), but library
     code always threads the same objects through.
+
+    The hash is precomputed: runtime records are dictionaries keyed by
+    attributes, so attribute hashing sits on the engine's innermost loops.
     """
 
     name: str
+    _hash: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_hash", hash(self.name))
+
+    def __hash__(self) -> int:
+        return self._hash
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Attr({self.name})"

@@ -65,23 +65,37 @@ def _bytes_of(rows: list[RawRecord]) -> float:
     return float(sum(record_bytes(r) for r in rows))
 
 
-def _avg_bytes(parts: Partitions) -> float:
-    rows = sum(len(p) for p in parts)
-    if rows == 0:
-        return 0.0
-    return sum(_bytes_of(p) for p in parts) / rows
+def _part_bytes(parts: Partitions) -> list[float]:
+    """Per-partition byte totals, computed in one walk over the records."""
+    return [_bytes_of(p) for p in parts]
 
 
 class Engine:
-    """Executes physical plans on partitioned in-memory data."""
+    """Executes physical plans on partitioned in-memory data.
+
+    With ``reuse_subtree_results`` the engine memoizes the (deterministic)
+    outcome of every executed physical subtree — output partitions plus
+    the per-operator metrics — and replays it when another plan of the
+    same experiment contains an identical subtree over the same source
+    data.  The shared Volcano memo in the optimizer hands structurally
+    shared sub-plans to the engine as the *same* ``PhysNode`` objects, so
+    the rank-picked plans of one experiment hit this cache heavily.
+    Reported records and simulated times are bit-identical either way.
+    """
 
     def __init__(
         self,
         params: CostParams | None = None,
         true_costs: dict[str, float] | None = None,
+        reuse_subtree_results: bool = False,
     ) -> None:
         self.params = params or CostParams()
         self.true_costs = true_costs or {}
+        self.reuse_subtree_results = reuse_subtree_results
+        self._subtree_cache: dict[
+            PhysNode, tuple[Partitions, tuple[OpMetrics, ...]]
+        ] = {}
+        self._cache_data: SourceData | None = None
 
     def _cost_per_call(self, op_name: str) -> float:
         return self.true_costs.get(op_name, 1.0)
@@ -90,12 +104,36 @@ class Engine:
 
     def execute(self, plan: PhysNode, data: SourceData) -> ExecutionResult:
         report = ExecutionReport()
+        if self.reuse_subtree_results and self._cache_data is not data:
+            self._subtree_cache.clear()
+            self._cache_data = data  # strong ref: no id-reuse hazard
         parts = self._run(plan, data, report)
-        return ExecutionResult(records=gather(parts), report=report)
+        # Internally, records flow by reference (filter-style UDFs forward
+        # the input dicts, the subtree cache replays partitions); copy at
+        # the API boundary so callers that mutate returned records cannot
+        # corrupt source data or cached results.
+        records = [dict(r) for r in gather(parts)]
+        return ExecutionResult(records=records, report=report)
 
     # -- recursion -----------------------------------------------------------------
 
     def _run(
+        self, node: PhysNode, data: SourceData, report: ExecutionReport
+    ) -> Partitions:
+        if not self.reuse_subtree_results:
+            return self._run_subtree(node, data, report)
+        hit = self._subtree_cache.get(node)
+        if hit is not None:
+            parts, metrics = hit
+            report.per_op.extend(metrics)
+            return parts
+        sub_report = ExecutionReport()
+        parts = self._run_subtree(node, data, sub_report)
+        self._subtree_cache[node] = (parts, tuple(sub_report.per_op))
+        report.per_op.extend(sub_report.per_op)
+        return parts
+
+    def _run_subtree(
         self, node: PhysNode, data: SourceData, report: ExecutionReport
     ) -> Partitions:
         op = node.logical.op
@@ -120,11 +158,24 @@ class Engine:
             name=op.name,
             strategy=node.local.value,
         )
-        shipped = [
-            self._ship(node.ships[i], inputs[i], node, i, metrics)
-            for i in range(len(inputs))
-        ]
-        out = self._local(node, shipped, metrics)
+        # Partition byte totals are computed at most once per operator input
+        # and shared between ship costing and (for Reduce) spill accounting,
+        # instead of re-walking every record per use.
+        spill_sizes = isinstance(op, ReduceOp)
+        shipped: list[Partitions] = []
+        shipped_sizes: list[list[float] | None] = []
+        for i in range(len(inputs)):
+            ship = node.ships[i]
+            sizes: list[float] | None = None
+            if ship.kind is not ShipKind.FORWARD or spill_sizes:
+                sizes = _part_bytes(inputs[i])
+            out_parts = self._ship(ship, inputs[i], sizes, node, metrics)
+            # Only Reduce consumes post-ship sizes, and Reduce ships are
+            # forward or partition; a repartition redistributes records so
+            # its per-partition sizes are unknown without a re-walk.
+            shipped.append(out_parts)
+            shipped_sizes.append(sizes if ship.kind is ShipKind.FORWARD else None)
+        out = self._local(node, shipped, shipped_sizes, metrics)
         metrics.rows_out = sum(len(p) for p in out)
         report.per_op.append(metrics)
         return out
@@ -135,33 +186,37 @@ class Engine:
         self,
         ship: Ship,
         parts: Partitions,
+        sizes: list[float] | None,
         node: PhysNode,
-        input_index: int,
         metrics: OpMetrics,
     ) -> Partitions:
         params = self.params
         if ship.kind is ShipKind.FORWARD:
             return parts
+        assert sizes is not None
+        rows = sum(len(p) for p in parts)
+        avg = sum(sizes) / rows if rows else 0.0
         if ship.kind is ShipKind.PARTITION:
             if ship.key is None:
                 raise ExecutionError(f"{node.name}: partition ship without key")
             out, moved = repartition_by_key(parts, ship.key, params.degree)
-            moved_bytes = moved * _avg_bytes(parts)
-            metrics.net_bytes += moved_bytes
-            metrics.ship_seconds += params.net_seconds(moved_bytes)
-            return out
-        if ship.kind is ShipKind.BROADCAST:
+        elif ship.kind is ShipKind.BROADCAST:
             out, moved = broadcast(parts, params.degree)
-            moved_bytes = moved * _avg_bytes(parts)
-            metrics.net_bytes += moved_bytes
-            metrics.ship_seconds += params.net_seconds(moved_bytes)
-            return out
-        raise ExecutionError(f"unknown ship kind {ship.kind}")  # pragma: no cover
+        else:  # pragma: no cover - defensive
+            raise ExecutionError(f"unknown ship kind {ship.kind}")
+        moved_bytes = moved * avg
+        metrics.net_bytes += moved_bytes
+        metrics.ship_seconds += params.net_seconds(moved_bytes)
+        return out
 
     # -- local strategies -------------------------------------------------------------
 
     def _local(
-        self, node: PhysNode, inputs: list[Partitions], metrics: OpMetrics
+        self,
+        node: PhysNode,
+        inputs: list[Partitions],
+        input_sizes: list[list[float] | None],
+        metrics: OpMetrics,
     ) -> Partitions:
         op = node.logical.op
         params = self.params
@@ -184,6 +239,7 @@ class Engine:
                 )
         elif isinstance(op, ReduceOp):
             (parts,) = inputs
+            (sizes,) = input_sizes
             metrics.rows_in = sum(len(p) for p in parts)
             for i, rows in enumerate(parts):
                 groups = len(group_by(rows, op.key_attr_tuple())) if rows else 0
@@ -197,7 +253,8 @@ class Engine:
                     + groups * cost_call
                     + len(result) * params.record_overhead
                 )
-                spill = params.spill_bytes(_bytes_of(rows) * degree) / degree
+                rows_bytes = sizes[i] if sizes is not None else _bytes_of(rows)
+                spill = params.spill_bytes(rows_bytes * degree) / degree
                 metrics.disk_bytes += spill
                 metrics.local_seconds += params.disk_seconds(spill)
         elif isinstance(op, MatchOp):

@@ -1,4 +1,32 @@
-"""The data flow optimizer: reordering conditions, enumeration, costing."""
+"""The data flow optimizer: reordering conditions, enumeration, costing.
+
+Memoization architecture
+------------------------
+
+The optimizer is built around *hash-consed* plans
+(:class:`repro.core.plan.Node` interns structurally-equal nodes into the
+same object), which turns every plan-keyed table into an O(1) identity
+lookup.  Three layers exploit this:
+
+* **Enumeration** (:mod:`.enumeration`): the BFS closure keys its
+  seen-set on interned nodes, and per-subtree neighbor lists are
+  memoized — a subtree shared by hundreds of alternatives has its swap
+  legality checked once.  Rule outcomes themselves are cached in
+  :class:`.context.PlanContext` (``rule_cache``).
+* **Cardinality** (:mod:`.cardinality`): estimates are cached per
+  interned node and record widths per output-attribute set, so the
+  estimator does no repeated work across alternatives.
+* **Physical optimization** (:mod:`.physical`): a
+  :class:`.physical.PhysicalOptimizer` holds a Volcano-style memo table
+  (interned sub-plan -> pruned physical options).
+  :class:`.optimizer.Optimizer` constructs it once and reuses it across
+  every enumerated alternative, so shared subtrees are physically
+  optimized exactly once; binary operators additionally prune dominated
+  child combinations with an exact branch-and-bound cut.
+  ``Optimizer(reuse_memo=False)`` re-plans each alternative from
+  scratch; results are identical by construction (see
+  ``tests/optimizer/test_memoization.py``).
+"""
 
 from .cardinality import CardinalityEstimator, EstStats, Hints
 from .conditions import kgp_kat, kgp_map, kgp_match_side, roc
@@ -12,6 +40,7 @@ from .enumeration import (
 from .optimizer import OptimizationResult, Optimizer, RankedPlan, optimize
 from .physical import (
     LocalStrategy,
+    PhysicalOptimizer,
     PhysNode,
     Ship,
     ShipKind,
@@ -33,6 +62,7 @@ __all__ = [
     "OptimizationResult",
     "Optimizer",
     "PhysNode",
+    "PhysicalOptimizer",
     "PlanContext",
     "RankedPlan",
     "Ship",

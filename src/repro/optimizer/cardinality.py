@@ -72,15 +72,21 @@ class CardinalityEstimator:
         self.ctx = ctx
         self.catalog = ctx.catalog
         self.hints = hints or {}
+        # Keyed on interned nodes: an identity lookup, shared across every
+        # alternative that contains the same sub-plan.
         self._cache: dict[Node, EstStats] = {}
+        self._width_cache: dict[frozenset, float] = {}
 
     def hints_for(self, op_name: str) -> Hints:
         return self.hints.get(op_name, Hints())
 
     def _width(self, node: Node) -> float:
-        return sum(
-            self.catalog.attr_width(a) for a in self.ctx.out_attrs(node)
-        ) + 2.0 * len(self.ctx.out_attrs(node))
+        attrs = self.ctx.out_attrs(node)
+        width = self._width_cache.get(attrs)
+        if width is None:
+            width = sum(self.catalog.attr_width(a) for a in attrs) + 2.0 * len(attrs)
+            self._width_cache[attrs] = width
+        return width
 
     def _distinct(self, attrs: tuple[Attribute, ...], upper: float) -> float:
         product = 1.0
@@ -133,10 +139,14 @@ class CardinalityEstimator:
                 else self._distinct(op.key_attr_tuple(), child.rows)
             )
             groups = min(groups, max(child.rows, 1.0))
+            # Per-group emission honors the UDF's emit bounds: exactly-one
+            # aggregations emit one record per group, filter-like reduces
+            # (hi <= 1, lo = 0) may drop groups, anything else defaults to
+            # one record per group.
             per_group = (
                 hint.selectivity
                 if hint.selectivity is not None
-                else (1.0 if props.emit_bounds.hi == 1 else 1.0)
+                else _default_selectivity(props.emit_bounds)
             )
             return EstStats(groups * per_group, self._width(node), groups)
         if isinstance(op, MatchOp):

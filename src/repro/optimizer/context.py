@@ -40,13 +40,22 @@ class PlanContext:
         self._attrs_cache: dict[Node, frozenset[Attribute]] = {}
         self._unique_cache: dict[Node, frozenset[frozenset[Attribute]]] = {}
         self._preserve_cache: dict[Node, bool] = {}
+        self._props_cache: dict[Operator, BoundProps] = {}
+        # Memoized outcomes of the pairwise swap-legality checks; keys mix
+        # operators and interned plan nodes, both O(1) to hash.
+        self.rule_cache: dict[tuple, bool] = {}
 
     # -- operator properties -----------------------------------------------------
 
     def props(self, op: Operator) -> BoundProps:
+        cached = self._props_cache.get(op)
+        if cached is not None:
+            return cached
         if not isinstance(op, UdfOperator):
             raise PlanError(f"operator {op.name!r} has no UDF properties")
-        return op.bound_props(self.mode)
+        result = op.bound_props(self.mode)
+        self._props_cache[op] = result
+        return result
 
     # -- output attribute sets ------------------------------------------------
 

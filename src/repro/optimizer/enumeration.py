@@ -20,7 +20,31 @@ from ..core.errors import OptimizationError, PlanError
 from ..core.operators import Sink, Source, UdfOperator
 from ..core.plan import Node, signature
 from .context import PlanContext
-from .rules import can_swap_unary_unary, neighbors
+from .rules import can_swap_unary_unary, local_swaps
+
+
+def _neighbors_memo(
+    node: Node, ctx: PlanContext, memo: dict[Node, tuple[Node, ...]]
+) -> tuple[Node, ...]:
+    """All single-swap neighbors of ``node``, memoized per interned subtree.
+
+    The closure's alternatives share almost all of their subtrees, so the
+    neighbor lists of those subtrees — including every legality check they
+    imply — are computed once per distinct subtree instead of once per
+    occurrence in a BFS-visited plan.
+    """
+    cached = memo.get(node)
+    if cached is not None:
+        return cached
+    out: list[Node] = list(local_swaps(node, ctx))
+    for i, child in enumerate(node.children):
+        for alt in _neighbors_memo(child, ctx, memo):
+            new_children = list(node.children)
+            new_children[i] = alt
+            out.append(Node(node.op, tuple(new_children)))
+    result = tuple(out)
+    memo[node] = result
+    return result
 
 
 def enumerate_flows(
@@ -33,20 +57,22 @@ def enumerate_flows(
     """
     if isinstance(body.op, Sink):
         raise PlanError("strip the sink before enumerating (see plan.body)")
-    seen: dict[tuple, Node] = {signature(body): body}
+    # Nodes are hash-consed, so membership in the seen-set is an O(1)
+    # identity check — no signatures are recomputed per BFS neighbor.
+    seen: set[Node] = {body}
     queue: deque[Node] = deque([body])
     order: list[Node] = [body]
+    neighbor_memo: dict[Node, tuple[Node, ...]] = {}
     while queue:
         current = queue.popleft()
-        for alternative in neighbors(current, ctx):
-            sig = signature(alternative)
-            if sig in seen:
+        for alternative in _neighbors_memo(current, ctx, neighbor_memo):
+            if alternative in seen:
                 continue
             if len(seen) >= limit:
                 raise OptimizationError(
                     f"enumeration exceeded {limit} alternatives"
                 )
-            seen[sig] = alternative
+            seen.add(alternative)
             order.append(alternative)
             queue.append(alternative)
     return order
@@ -64,19 +90,19 @@ def count_alternatives(body: Node, ctx: PlanContext) -> int:
 def enum_alternatives_chain(flow: Node, ctx: PlanContext) -> list[Node]:
     """Paper Algorithm 1 over a chain flow (sources, sinks, unary operators).
 
-    The memo table is keyed on the structural signature of the sub-flow,
-    which plays the role of ``getMTabKey``.
+    The memo table is keyed on the interned sub-flow node itself, which
+    plays the role of ``getMTabKey`` (hash-consing makes the structural
+    key an identity lookup).
     """
-    memo: dict[tuple, frozenset[Node]] = {}
+    memo: dict[Node, frozenset[Node]] = {}
     result = _enum_chain(flow, ctx, memo)
     return sorted(result, key=signature)
 
 
 def _enum_chain(
-    flow: Node, ctx: PlanContext, memo: dict[tuple, frozenset[Node]]
+    flow: Node, ctx: PlanContext, memo: dict[Node, frozenset[Node]]
 ) -> frozenset[Node]:
-    key = signature(flow)
-    cached = memo.get(key)
+    cached = memo.get(flow)
     if cached is not None:
         return cached
 
@@ -111,5 +137,5 @@ def _enum_chain(
             "Algorithm 1 as printed handles single-input operators only; "
             "use enumerate_flows for trees with binary operators"
         )
-    memo[key] = alts
+    memo[flow] = alts
     return alts

@@ -9,16 +9,16 @@ rank the resulting execution plans by estimated cost.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..core.catalog import Catalog
-from ..core.plan import Node, body as plan_body
+from ..core.plan import Node, body as plan_body, signature
 from ..core.udf import AnnotationMode
 from .cardinality import CardinalityEstimator, Hints
 from .context import PlanContext
 from .cost import CostParams
 from .enumeration import enumerate_flows
-from .physical import PhysNode, optimize_physical
+from .physical import PhysicalOptimizer, PhysNode
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,6 +42,7 @@ class OptimizationResult:
     ranked: list[RankedPlan]  # ascending estimated cost
     enumeration_seconds: float
     physical_seconds: float
+    _rank_index: dict[Node, int] | None = field(default=None, repr=False)
 
     @property
     def plan_count(self) -> int:
@@ -52,8 +53,16 @@ class OptimizationResult:
         return self.ranked[0]
 
     def rank_of(self, body: Node) -> int:
-        from ..core.plan import signature
-
+        # Interned nodes make the common lookup an O(1) identity hit; keying
+        # on the node (not its signature) keeps distinct plans distinct even
+        # when operators share names across the ranked list.
+        if self._rank_index is None:
+            self._rank_index = {plan.body: plan.rank for plan in self.ranked}
+        hit = self._rank_index.get(body)
+        if hit is not None:
+            return hit
+        # Fallback for bodies built from different operator objects: first
+        # structural (signature) match in rank order, the legacy behavior.
         wanted = signature(body)
         for plan in self.ranked:
             if signature(plan.body) == wanted:
@@ -73,7 +82,15 @@ class OptimizationResult:
 
 
 class Optimizer:
-    """Enumerate + physically optimize + rank."""
+    """Enumerate + physically optimize + rank.
+
+    With ``reuse_memo`` (the default) a single :class:`PhysicalOptimizer`
+    — and hence a single Volcano memo table of interned sub-plan ->
+    physical options — is shared across every enumerated alternative, so
+    a subtree occurring in hundreds of alternatives is planned once.
+    ``reuse_memo=False`` re-plans each alternative from scratch (the
+    reference path; results are identical, just slower).
+    """
 
     def __init__(
         self,
@@ -81,12 +98,14 @@ class Optimizer:
         hints: dict[str, Hints] | None = None,
         mode: AnnotationMode = AnnotationMode.SCA,
         params: CostParams | None = None,
+        reuse_memo: bool = True,
     ) -> None:
         self.catalog = catalog
         self.hints = hints or {}
         self.mode = mode
         self.params = params or CostParams()
         self.ctx = PlanContext(catalog, mode)
+        self.reuse_memo = reuse_memo
 
     def optimize(self, plan: Node) -> OptimizationResult:
         flow = plan_body(plan)
@@ -94,9 +113,17 @@ class Optimizer:
         alternatives = enumerate_flows(flow, self.ctx)
         t1 = time.perf_counter()
         estimator = CardinalityEstimator(self.ctx, self.hints)
+        shared = (
+            PhysicalOptimizer(self.ctx, estimator, self.params)
+            if self.reuse_memo
+            else None
+        )
         scored: list[tuple[float, Node, PhysNode]] = []
         for alt in alternatives:
-            phys = optimize_physical(alt, self.ctx, estimator, self.params)
+            physical_optimizer = shared or PhysicalOptimizer(
+                self.ctx, estimator, self.params
+            )
+            phys = physical_optimizer.optimize(alt)
             scored.append((phys.cost_total, alt, phys))
         t2 = time.perf_counter()
         scored.sort(key=lambda item: item[0])

@@ -10,6 +10,15 @@ established (the Q15 discussion of Section 7.3).
 
 The search is a small Volcano-style dynamic program: each node returns
 its cheapest physical plan per partitioning property.
+
+The option lists are memoized per interned logical sub-plan, so one
+:class:`PhysicalOptimizer` instance can be shared across every enumerated
+alternative of a plan space: a subtree that appears in hundreds of
+alternatives is physically optimized exactly once (hash-consing makes the
+memo key an identity lookup).  Binary operators additionally apply an
+exact branch-and-bound cut: once every achievable output partitioning has
+an option, child combinations whose summed subtree costs cannot beat any
+kept option are skipped without generating their physical variants.
 """
 
 from __future__ import annotations
@@ -53,6 +62,11 @@ class Ship:
         if self.kind is ShipKind.PARTITION and self.key:
             return f"partition({', '.join(a.name for a in self.key)})"
         return self.kind.value
+
+
+_FORWARD = Ship(ShipKind.FORWARD)
+_BROADCAST = Ship(ShipKind.BROADCAST)
+_FORWARD_SHIPS = (_FORWARD,)
 
 
 class LocalStrategy(enum.Enum):
@@ -117,6 +131,10 @@ class PhysicalOptimizer:
         self.ctx = ctx
         self.est = estimator
         self.params = params
+        # Memo table of the Volcano search: interned logical sub-plan ->
+        # pruned physical options.  Shared across every alternative this
+        # optimizer instance is asked to plan.
+        self._memo: dict[Node, tuple[PhysNode, ...]] = {}
 
     # -- public ------------------------------------------------------------
 
@@ -127,46 +145,111 @@ class PhysicalOptimizer:
 
     # -- option generation -----------------------------------------------------
 
-    def _options(self, node: Node) -> list[PhysNode]:
+    def _options(self, node: Node) -> tuple[PhysNode, ...]:
+        cached = self._memo.get(node)
+        if cached is None:
+            cached = self._compute_options(node)
+            self._memo[node] = cached
+        return cached
+
+    def _compute_options(self, node: Node) -> tuple[PhysNode, ...]:
         op = node.op
         if isinstance(op, Source):
-            return [self._source(node)]
+            return (self._source(node),)
         if isinstance(op, Sink):
-            return [
-                self._wrap(node, (Ship(ShipKind.FORWARD),), LocalStrategy.COLLECT,
-                           None, (child,), 0.0, child.partitioning)
+            est = self.est.estimate(node)
+            return tuple(
+                self._wrap(node, est, _FORWARD_SHIPS,
+                           LocalStrategy.COLLECT, None, (child,), 0.0,
+                           child.partitioning)
                 for child in self._options(node.only_child)
-            ]
+            )
         if isinstance(op, MapOp):
-            return self._prune(
-                [self._map(node, c) for c in self._options(node.only_child)]
-            )
+            return self._map_options(node)
         if isinstance(op, ReduceOp):
-            return self._prune(
-                [self._reduce(node, c) for c in self._options(node.only_child)]
-            )
+            return self._reduce_options(node)
         if isinstance(op, (MatchOp, CoGroupOp, CrossOp)):
-            out: list[PhysNode] = []
-            for left in self._options(node.children[0]):
-                for right in self._options(node.children[1]):
-                    out.extend(self._binary(node, left, right))
-            return self._prune(out)
+            return self._binary_options(node)
         raise OptimizationError(f"cannot plan {op!r}")  # pragma: no cover
 
-    def _prune(self, options: list[PhysNode]) -> list[PhysNode]:
+    def _binary_options(self, node: Node) -> tuple[PhysNode, ...]:
+        """Enumerate child-option combinations with branch-and-bound.
+
+        ``cost_total`` of any option is at least the summed costs of its
+        children, so once every *achievable* output partitioning holds an
+        option, a child pair whose summed costs already reach the most
+        expensive kept option cannot improve any bucket (replacement is
+        strict-<) and is skipped before its variants are generated.
+        """
+        op = node.op
+        if isinstance(op, MatchOp):
+            variants = self._match_planner(node)
+        elif isinstance(op, CrossOp):
+            variants = self._cross_planner(node)
+        elif isinstance(op, CoGroupOp):
+            variants = self._cogroup_planner(node)
+        else:  # pragma: no cover - defensive
+            raise OptimizationError(f"cannot plan {op!r}")
+        lefts = self._options(node.children[0])
+        rights = self._options(node.children[1])
+        buckets = self._achievable_partitionings(node, lefts, rights)
+        best: dict[Partitioning, PhysNode] = {}
+        threshold: float | None = None
+        for left in lefts:
+            for right in rights:
+                if (
+                    threshold is not None
+                    and left.cost_total + right.cost_total >= threshold
+                ):
+                    continue
+                for option in variants(left, right):
+                    current = best.get(option.partitioning)
+                    if current is None or option.cost_total < current.cost_total:
+                        best[option.partitioning] = option
+                if len(best) == len(buckets):
+                    threshold = max(p.cost_total for p in best.values())
+        return tuple(best.values())
+
+    def _achievable_partitionings(
+        self,
+        node: Node,
+        lefts: tuple[PhysNode, ...],
+        rights: tuple[PhysNode, ...],
+    ) -> frozenset[Partitioning]:
+        """Every output partitioning any child combination could produce."""
+        op = node.op
+        writes = self.ctx.props(op).writes
+        out: set[Partitioning] = set()
+        if isinstance(op, (MatchOp, CoGroupOp)):
+            keys = frozenset(
+                {
+                    frozenset(op.left_key_attrs()),
+                    frozenset(op.right_key_attrs()),
+                }
+            )
+            out.add(_keep_partitionings(keys, writes))
+        if isinstance(op, (MatchOp, CrossOp)):
+            # Broadcast variants preserve the probe side's partitioning.
+            for side in (lefts, rights):
+                for child in side:
+                    out.add(_keep_partitionings(child.partitioning, writes))
+        return frozenset(out)
+
+    def _prune(self, options: list[PhysNode]) -> tuple[PhysNode, ...]:
         """Keep the cheapest option per partitioning property."""
         best: dict[Partitioning, PhysNode] = {}
         for option in options:
             current = best.get(option.partitioning)
             if current is None or option.cost_total < current.cost_total:
                 best[option.partitioning] = option
-        return list(best.values())
+        return tuple(best.values())
 
     # -- helpers --------------------------------------------------------------
 
     def _wrap(
         self,
         node: Node,
+        est: EstStats,
         ships: tuple[Ship, ...],
         local: LocalStrategy,
         build_side: int | None,
@@ -181,14 +264,13 @@ class PhysicalOptimizer:
             local=local,
             build_side=build_side,
             children=children,
-            est=self.est.estimate(node),
+            est=est,
             cost_self=cost_self,
             cost_total=total,
             partitioning=partitioning,
         )
 
-    def _udf_cpu(self, node: Node) -> float:
-        est = self.est.estimate(node)
+    def _udf_cpu(self, node: Node, est: EstStats) -> float:
         hint = self.est.hints_for(node.op.name)
         params = self.params
         units = est.calls * hint.cpu_per_call + est.rows * params.record_overhead
@@ -200,169 +282,203 @@ class PhysicalOptimizer:
         est = self.est.estimate(node)
         cost = self.params.disk_seconds(est.bytes)
         return self._wrap(
-            node, (), LocalStrategy.SCAN, None, (), cost, RANDOM
+            node, est, (), LocalStrategy.SCAN, None, (), cost, RANDOM
         )
 
-    def _map(self, node: Node, child: PhysNode) -> PhysNode:
-        props = self.ctx.props(node.op)
-        cost = self._udf_cpu(node)
-        parts = _keep_partitionings(child.partitioning, props.writes)
-        return self._wrap(
-            node,
-            (Ship(ShipKind.FORWARD),),
-            LocalStrategy.PIPELINE,
-            None,
-            (child,),
-            cost,
-            parts,
+    def _map_options(self, node: Node) -> tuple[PhysNode, ...]:
+        writes = self.ctx.props(node.op).writes
+        est = self.est.estimate(node)
+        cost = self._udf_cpu(node, est)
+        return self._prune(
+            [
+                self._wrap(
+                    node,
+                    est,
+                    _FORWARD_SHIPS,
+                    LocalStrategy.PIPELINE,
+                    None,
+                    (child,),
+                    cost,
+                    _keep_partitionings(child.partitioning, writes),
+                )
+                for child in self._options(node.only_child)
+            ]
         )
 
-    def _reduce(self, node: Node, child: PhysNode) -> PhysNode:
+    def _reduce_options(self, node: Node) -> tuple[PhysNode, ...]:
         op = node.op
         assert isinstance(op, ReduceOp)
         params = self.params
-        key = frozenset(op.key_attrs())
-        in_est = child.est
-        cost = 0.0
-        if _compatible(child.partitioning, key):
-            ship = Ship(ShipKind.FORWARD)
-        else:
-            ship = Ship(ShipKind.PARTITION, op.key_attr_tuple())
-            cost += params.net_seconds(params.partition_bytes(in_est.bytes))
-        cost += params.cpu_seconds(params.sort_units(in_est.rows))
-        cost += params.disk_seconds(params.spill_bytes(in_est.bytes))
-        cost += self._udf_cpu(node)
-        return self._wrap(
-            node,
-            (ship,),
-            LocalStrategy.SORT_GROUP,
-            None,
-            (child,),
-            cost,
-            frozenset({key}),
-        )
+        key = op.key_attrs()
+        key_tuple = op.key_attr_tuple()
+        est = self.est.estimate(node)
+        udf_cost = self._udf_cpu(node, est)
+        parts = frozenset({key})
+        out: list[PhysNode] = []
+        for child in self._options(node.only_child):
+            in_est = child.est
+            cost = 0.0
+            if _compatible(child.partitioning, key):
+                ship = _FORWARD
+            else:
+                ship = Ship(ShipKind.PARTITION, key_tuple)
+                cost += params.net_seconds(params.partition_bytes(in_est.bytes))
+            cost += params.cpu_seconds(params.sort_units(in_est.rows))
+            cost += params.disk_seconds(params.spill_bytes(in_est.bytes))
+            cost += udf_cost
+            out.append(
+                self._wrap(
+                    node,
+                    est,
+                    (ship,),
+                    LocalStrategy.SORT_GROUP,
+                    None,
+                    (child,),
+                    cost,
+                    parts,
+                )
+            )
+        return self._prune(out)
 
-    def _binary(
-        self, node: Node, left: PhysNode, right: PhysNode
-    ) -> list[PhysNode]:
-        op = node.op
-        if isinstance(op, MatchOp):
-            return self._match(node, left, right)
-        if isinstance(op, CrossOp):
-            return self._cross(node, left, right)
-        if isinstance(op, CoGroupOp):
-            return [self._cogroup(node, left, right)]
-        raise OptimizationError(f"cannot plan {op!r}")  # pragma: no cover
-
-    def _match(
-        self, node: Node, left: PhysNode, right: PhysNode
-    ) -> list[PhysNode]:
+    def _match_planner(self, node: Node):
+        """Per-logical-node invariants hoisted; returns a per-pair generator."""
         op = node.op
         assert isinstance(op, MatchOp)
         params = self.params
-        props = self.ctx.props(op)
-        lkey = frozenset(op.left_key_attrs())
-        rkey = frozenset(op.right_key_attrs())
-        udf_cost = self._udf_cpu(node)
-        out: list[PhysNode] = []
-
-        # (a) repartition both sides, hash join (build on the smaller side)
-        cost = 0.0
-        ships: list[Ship] = []
-        for child, key, key_tuple in (
-            (left, lkey, op.left_key_attrs()),
-            (right, rkey, op.right_key_attrs()),
-        ):
-            if _compatible(child.partitioning, key):
-                ships.append(Ship(ShipKind.FORWARD))
-            else:
-                ships.append(Ship(ShipKind.PARTITION, key_tuple))
-                cost += params.net_seconds(params.partition_bytes(child.est.bytes))
-        build = 0 if left.est.bytes <= right.est.bytes else 1
-        probe = 1 - build
-        sides = (left, right)
-        cost += params.cpu_seconds(
-            sides[build].est.rows * params.build_unit
-            + sides[probe].est.rows * params.probe_unit
-        )
-        cost += params.disk_seconds(params.spill_bytes(sides[build].est.bytes))
-        cost += udf_cost
+        writes = self.ctx.props(op).writes
+        lkey_tuple = op.left_key_attrs()
+        rkey_tuple = op.right_key_attrs()
+        lkey = frozenset(lkey_tuple)
+        rkey = frozenset(rkey_tuple)
+        est = self.est.estimate(node)
+        udf_cost = self._udf_cpu(node, est)
         # After a partitioned join only the join keys are valid partitioning
         # properties: prior partitionings were destroyed by the shuffle.
-        parts = _keep_partitionings(frozenset({lkey, rkey}), props.writes)
-        out.append(
-            self._wrap(node, tuple(ships), LocalStrategy.HASH_JOIN, build,
-                       (left, right), cost, parts)
-        )
+        repart_parts = _keep_partitionings(frozenset({lkey, rkey}), writes)
 
-        # (b)/(c) broadcast one side, forward the other, build on broadcast
-        for build_side in (0, 1):
-            build_child = sides[build_side]
-            probe_child = sides[1 - build_side]
-            cost = params.net_seconds(params.broadcast_bytes(build_child.est.bytes))
-            cost += params.cpu_seconds_single(
-                build_child.est.rows * params.build_unit
-            )
-            cost += params.cpu_seconds(probe_child.est.rows * params.probe_unit)
-            cost += params.disk_seconds(
-                params.spill_bytes(build_child.est.bytes * params.degree)
-            )
-            cost += udf_cost
-            ships = [Ship(ShipKind.FORWARD), Ship(ShipKind.FORWARD)]
-            ships[build_side] = Ship(ShipKind.BROADCAST)
-            parts = _keep_partitionings(probe_child.partitioning, props.writes)
-            out.append(
-                self._wrap(node, tuple(ships), LocalStrategy.HASH_JOIN,
-                           build_side, (left, right), cost, parts)
-            )
-        return out
+        def variants(left: PhysNode, right: PhysNode) -> list[PhysNode]:
+            out: list[PhysNode] = []
 
-    def _cross(self, node: Node, left: PhysNode, right: PhysNode) -> list[PhysNode]:
-        params = self.params
-        props = self.ctx.props(node.op)
-        pairs = self.est.estimate(node).calls
-        out: list[PhysNode] = []
-        for build_side in (0, 1):
+            # (a) repartition both sides, hash join (build on the smaller side)
+            cost = 0.0
+            ships: list[Ship] = []
+            for child, key, key_tuple in (
+                (left, lkey, lkey_tuple),
+                (right, rkey, rkey_tuple),
+            ):
+                if _compatible(child.partitioning, key):
+                    ships.append(_FORWARD)
+                else:
+                    ships.append(Ship(ShipKind.PARTITION, key_tuple))
+                    cost += params.net_seconds(
+                        params.partition_bytes(child.est.bytes)
+                    )
+            build = 0 if left.est.bytes <= right.est.bytes else 1
+            probe = 1 - build
             sides = (left, right)
-            build_child = sides[build_side]
-            probe_child = sides[1 - build_side]
-            cost = params.net_seconds(params.broadcast_bytes(build_child.est.bytes))
-            cost += params.cpu_seconds(pairs * params.cross_unit)
-            cost += self._udf_cpu(node)
-            ships = [Ship(ShipKind.FORWARD), Ship(ShipKind.FORWARD)]
-            ships[build_side] = Ship(ShipKind.BROADCAST)
-            parts = _keep_partitionings(probe_child.partitioning, props.writes)
-            out.append(
-                self._wrap(node, tuple(ships), LocalStrategy.NESTED_LOOP,
-                           build_side, (left, right), cost, parts)
+            cost += params.cpu_seconds(
+                sides[build].est.rows * params.build_unit
+                + sides[probe].est.rows * params.probe_unit
             )
-        return out
+            cost += params.disk_seconds(params.spill_bytes(sides[build].est.bytes))
+            cost += udf_cost
+            out.append(
+                self._wrap(node, est, tuple(ships), LocalStrategy.HASH_JOIN,
+                           build, (left, right), cost, repart_parts)
+            )
 
-    def _cogroup(self, node: Node, left: PhysNode, right: PhysNode) -> PhysNode:
+            # (b)/(c) broadcast one side, forward the other, build on broadcast
+            for build_side in (0, 1):
+                build_child = sides[build_side]
+                probe_child = sides[1 - build_side]
+                cost = params.net_seconds(
+                    params.broadcast_bytes(build_child.est.bytes)
+                )
+                cost += params.cpu_seconds_single(
+                    build_child.est.rows * params.build_unit
+                )
+                cost += params.cpu_seconds(probe_child.est.rows * params.probe_unit)
+                cost += params.disk_seconds(
+                    params.spill_bytes(build_child.est.bytes * params.degree)
+                )
+                cost += udf_cost
+                ships = [_FORWARD, _FORWARD]
+                ships[build_side] = _BROADCAST
+                parts = _keep_partitionings(probe_child.partitioning, writes)
+                out.append(
+                    self._wrap(node, est, tuple(ships), LocalStrategy.HASH_JOIN,
+                               build_side, (left, right), cost, parts)
+                )
+            return out
+
+        return variants
+
+    def _cross_planner(self, node: Node):
+        params = self.params
+        writes = self.ctx.props(node.op).writes
+        est = self.est.estimate(node)
+        pairs = est.calls
+        udf_cost = self._udf_cpu(node, est)
+        pair_cost = params.cpu_seconds(pairs * params.cross_unit)
+
+        def variants(left: PhysNode, right: PhysNode) -> list[PhysNode]:
+            out: list[PhysNode] = []
+            sides = (left, right)
+            for build_side in (0, 1):
+                build_child = sides[build_side]
+                probe_child = sides[1 - build_side]
+                cost = params.net_seconds(
+                    params.broadcast_bytes(build_child.est.bytes)
+                )
+                cost += pair_cost
+                cost += udf_cost
+                ships = [_FORWARD, _FORWARD]
+                ships[build_side] = _BROADCAST
+                parts = _keep_partitionings(probe_child.partitioning, writes)
+                out.append(
+                    self._wrap(node, est, tuple(ships), LocalStrategy.NESTED_LOOP,
+                               build_side, (left, right), cost, parts)
+                )
+            return out
+
+        return variants
+
+    def _cogroup_planner(self, node: Node):
         op = node.op
         assert isinstance(op, CoGroupOp)
         params = self.params
-        props = self.ctx.props(op)
-        cost = 0.0
-        ships = []
-        for child, key, key_tuple in (
-            (left, frozenset(op.left_key_attrs()), op.left_key_attrs()),
-            (right, frozenset(op.right_key_attrs()), op.right_key_attrs()),
-        ):
-            if _compatible(child.partitioning, key):
-                ships.append(Ship(ShipKind.FORWARD))
-            else:
-                ships.append(Ship(ShipKind.PARTITION, key_tuple))
-                cost += params.net_seconds(params.partition_bytes(child.est.bytes))
-            cost += params.cpu_seconds(params.sort_units(child.est.rows))
-            cost += params.disk_seconds(params.spill_bytes(child.est.bytes))
-        cost += self._udf_cpu(node)
-        parts = _keep_partitionings(
-            frozenset({frozenset(op.left_key_attrs()), frozenset(op.right_key_attrs())}),
-            props.writes,
-        )
-        return self._wrap(node, tuple(ships), LocalStrategy.SORT_COGROUP,
-                          None, (left, right), cost, parts)
+        writes = self.ctx.props(op).writes
+        lkey_tuple = op.left_key_attrs()
+        rkey_tuple = op.right_key_attrs()
+        lkey = frozenset(lkey_tuple)
+        rkey = frozenset(rkey_tuple)
+        est = self.est.estimate(node)
+        udf_cost = self._udf_cpu(node, est)
+        parts = _keep_partitionings(frozenset({lkey, rkey}), writes)
+
+        def variants(left: PhysNode, right: PhysNode) -> list[PhysNode]:
+            cost = 0.0
+            ships = []
+            for child, key, key_tuple in (
+                (left, lkey, lkey_tuple),
+                (right, rkey, rkey_tuple),
+            ):
+                if _compatible(child.partitioning, key):
+                    ships.append(_FORWARD)
+                else:
+                    ships.append(Ship(ShipKind.PARTITION, key_tuple))
+                    cost += params.net_seconds(
+                        params.partition_bytes(child.est.bytes)
+                    )
+                cost += params.cpu_seconds(params.sort_units(child.est.rows))
+                cost += params.disk_seconds(params.spill_bytes(child.est.bytes))
+            cost += udf_cost
+            return [
+                self._wrap(node, est, tuple(ships), LocalStrategy.SORT_COGROUP,
+                           None, (left, right), cost, parts)
+            ]
+
+        return variants
 
 
 def optimize_physical(

@@ -37,6 +37,17 @@ def can_swap_unary_unary(
     upper: UdfOperator, lower: UdfOperator, ctx: PlanContext
 ) -> bool:
     """Theorem 1 (Map/Map), Theorem 2 (Map/Reduce), and Reduce/Reduce."""
+    key = (can_swap_unary_unary, upper, lower)
+    cached = ctx.rule_cache.get(key)
+    if cached is None:
+        cached = _can_swap_unary_unary(upper, lower, ctx)
+        ctx.rule_cache[key] = cached
+    return cached
+
+
+def _can_swap_unary_unary(
+    upper: UdfOperator, lower: UdfOperator, ctx: PlanContext
+) -> bool:
     pu = ctx.props(upper)
     pl = ctx.props(lower)
     if not roc(pu, pl):
@@ -55,6 +66,21 @@ def can_swap_unary_unary(
 
 
 def can_exchange_unary_binary(
+    unary: UdfOperator,
+    binary: UdfOperator,
+    side: int,
+    other_node: Node,
+    ctx: PlanContext,
+) -> bool:
+    key = (can_exchange_unary_binary, unary, binary, side, other_node)
+    cached = ctx.rule_cache.get(key)
+    if cached is None:
+        cached = _can_exchange_unary_binary(unary, binary, side, other_node, ctx)
+        ctx.rule_cache[key] = cached
+    return cached
+
+
+def _can_exchange_unary_binary(
     unary: UdfOperator,
     binary: UdfOperator,
     side: int,
@@ -103,6 +129,21 @@ def can_exchange_unary_binary(
 
 
 def can_rotate(
+    upper: UdfOperator,
+    lower: UdfOperator,
+    stay_node: Node,
+    outer_node: Node,
+    ctx: PlanContext,
+) -> bool:
+    key = (can_rotate, upper, lower, stay_node, outer_node)
+    cached = ctx.rule_cache.get(key)
+    if cached is None:
+        cached = _can_rotate(upper, lower, stay_node, outer_node, ctx)
+        ctx.rule_cache[key] = cached
+    return cached
+
+
+def _can_rotate(
     upper: UdfOperator,
     lower: UdfOperator,
     stay_node: Node,

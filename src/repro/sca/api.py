@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import weakref
 from typing import Any
 
 from ..core.errors import AnalysisError, UnsupportedBytecode
@@ -12,6 +13,17 @@ from .pybytecode import compile_to_tac
 from .tac import TACFunction
 
 
+# A UDF's bytecode is immutable, so analysis is a pure function of the
+# function object and its parameter kinds; memoize it module-wide.  The
+# same UDF is analyzed once per process no matter how many operators,
+# plan contexts, or repeated passes reference it.  Keys are held weakly
+# so dropped UDFs (and their captured closures) are reclaimed instead of
+# pinned for the process lifetime.
+_analysis_cache: "weakref.WeakKeyDictionary[Any, dict[tuple[ParamKind, ...], UdfProperties]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
 def analyze_udf(fn: Any, param_kinds: tuple[ParamKind, ...]) -> UdfProperties:
     """Derive black-box properties for a UDF (Section 5).
 
@@ -20,6 +32,21 @@ def analyze_udf(fn: Any, param_kinds: tuple[ParamKind, ...]) -> UdfProperties:
     degrades to the conservative read-all/write-all properties, exactly as
     the paper's safety argument requires.
     """
+    try:
+        per_fn = _analysis_cache.get(fn)
+        if per_fn is None:
+            per_fn = {}
+            _analysis_cache[fn] = per_fn
+    except TypeError:  # unhashable or non-weakrefable fn: skip caching
+        return _analyze_udf(fn, param_kinds)
+    result = per_fn.get(param_kinds)
+    if result is None:
+        result = _analyze_udf(fn, param_kinds)
+        per_fn[param_kinds] = result
+    return result
+
+
+def _analyze_udf(fn: Any, param_kinds: tuple[ParamKind, ...]) -> UdfProperties:
     try:
         if isinstance(fn, TACFunction):
             return analyze_tac(fn, param_kinds)

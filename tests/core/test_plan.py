@@ -76,6 +76,36 @@ class TestSignature:
         assert len({flow_a, flow_b}) == 1
 
 
+class TestInterning:
+    def test_structurally_equal_nodes_are_identical(self):
+        flow_a, src, ops = build_chain(2)
+        flow_b = chain(src, *ops)
+        assert flow_a is flow_b
+
+    def test_equal_names_distinct_operators_not_confused(self):
+        """Operators compare by identity: two operators that merely share a
+        name produce distinct plans (with equal signatures)."""
+        src = Source("I", AB)
+        m_one = MapOp("m", map_udf(identity_udf), FieldMap(AB))
+        m_two = MapOp("m", map_udf(identity_udf), FieldMap(AB))
+        flow_one = chain(src, m_one)
+        flow_two = chain(src, m_two)
+        assert flow_one is not flow_two
+        assert flow_one != flow_two
+        assert signature(flow_one) == signature(flow_two)
+        assert len({flow_one, flow_two}) == 2
+
+    def test_signature_cached_and_nested(self):
+        flow, _, _ = build_chain(2)
+        assert flow.signature is signature(flow)
+        assert signature(flow) == ("m1", ("m0", ("I",)))
+
+    def test_nodes_immutable(self):
+        flow, _, _ = build_chain(1)
+        with pytest.raises(AttributeError):
+            flow.op = None
+
+
 class TestSinkHandling:
     def test_body_strips_sink(self):
         flow, _, _ = build_chain(1)

@@ -87,6 +87,39 @@ class TestEstimator:
         est = CardinalityEstimator(ctx)
         assert est.estimate(flow).rows == 10
 
+    def test_reduce_per_group_honors_emit_bounds(self):
+        """Pin the Reduce output cardinality per emit-bounds shape: an
+        exactly-one aggregation keeps every group, a filter-like reduce
+        (lo=0, hi=1) defaults to dropping half, anything else defaults to
+        one record per group."""
+        _, ctx = setup_env()
+
+        def reduce_rows(props):
+            r = ReduceOp("g", reduce_udf(identity_udf, props), FieldMap(L), (0,))
+            flow = chain(Source("L", L), r)
+            return CardinalityEstimator(ctx).estimate(flow)
+
+        agg = reduce_rows(exactly_one())
+        assert (agg.rows, agg.calls) == (10, 10)
+        filtering = reduce_rows(
+            UdfProperties(emit_bounds=EmitBounds.at_most_one())
+        )
+        assert (filtering.rows, filtering.calls) == (5, 10)
+        unbounded = reduce_rows(UdfProperties())
+        assert (unbounded.rows, unbounded.calls) == (10, 10)
+
+    def test_reduce_hint_selectivity_overrides_bounds(self):
+        _, ctx = setup_env()
+        r = ReduceOp(
+            "g",
+            reduce_udf(identity_udf, exactly_one()),
+            FieldMap(L),
+            (0,),
+        )
+        flow = chain(Source("L", L), r)
+        est = CardinalityEstimator(ctx, {"g": Hints(selectivity=3.0)})
+        assert est.estimate(flow).rows == 30
+
     def test_match_uses_key_distincts(self):
         _, ctx = setup_env()
         m = MatchOp("j", binary_udf(concat_udf, exactly_one()),

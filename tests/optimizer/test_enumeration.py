@@ -117,6 +117,42 @@ class TestAlgorithm1Details:
         assert signature(flow) in {signature(r) for r in results}
 
 
+class TestClosureVsAlgorithm1Property:
+    """Property-style check on random legal chains: the BFS closure and the
+    paper's Algorithm 1 must agree on count and plan set after the
+    interning rewrite."""
+
+    def random_ops(self, rng, count):
+        ops = []
+        for k in range(count):
+            reads = tuple(
+                p for p in range(WIDTH) if rng.random() < 0.4
+            )
+            writes = tuple(
+                p for p in range(WIDTH) if rng.random() < 0.25
+            )
+            ops.append(annotated_map(f"p{k}", reads=reads, writes=writes))
+        return ops
+
+    def test_random_chains_agree(self):
+        import random
+
+        rng = random.Random(20120830)  # the paper's PVLDB year, for luck
+        ctx = make_ctx()
+        for trial in range(25):
+            ops = self.random_ops(rng, rng.randint(2, 5))
+            flow = build_chain(*ops)
+            closure = enumerate_flows(flow, ctx)
+            alg1 = enum_alternatives_chain(flow, ctx)
+            assert len(closure) == len(alg1)
+            assert {signature(f) for f in closure} == {
+                signature(f) for f in alg1
+            }
+            # interned plans: structurally equal alternatives are identical
+            # objects, so the two enumerators return the very same nodes
+            assert set(closure) == set(alg1)
+
+
 class TestEnumerateFlows:
     def test_original_is_first(self):
         ctx = make_ctx()

@@ -1,0 +1,126 @@
+"""The shared Volcano memo must not change optimization results.
+
+``Optimizer(reuse_memo=True)`` shares one ``PhysicalOptimizer`` — and
+hence one memo table of interned sub-plan -> pruned physical options —
+across every enumerated alternative.  These tests pin that the memoized
+results are plan-for-plan identical (ranked order, costs, shipping and
+local strategies) to the unmemoized reference on all four paper
+workloads, in both annotation modes where applicable.
+"""
+
+import pytest
+
+from repro.core import AnnotationMode
+from repro.core.plan import signature
+from repro.optimizer import Optimizer
+from repro.workloads import (
+    build_clickstream,
+    build_q7,
+    build_q15,
+    build_textmining,
+)
+
+BUILDERS = {
+    "tpch_q7": build_q7,
+    "tpch_q15": build_q15,
+    "clickstream": build_clickstream,
+    "textmining": build_textmining,
+}
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {name: build() for name, build in BUILDERS.items()}
+
+
+def optimize(workload, mode, reuse_memo):
+    return Optimizer(
+        workload.catalog, workload.hints, mode, workload.params,
+        reuse_memo=reuse_memo,
+    ).optimize(workload.plan)
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+@pytest.mark.parametrize("mode", [AnnotationMode.SCA, AnnotationMode.MANUAL])
+def test_memoized_matches_unmemoized(workloads, name, mode):
+    workload = workloads[name]
+    memoized = optimize(workload, mode, reuse_memo=True)
+    reference = optimize(workload, mode, reuse_memo=False)
+    assert memoized.plan_count == reference.plan_count
+    for got, want in zip(memoized.ranked, reference.ranked):
+        assert got.rank == want.rank
+        assert signature(got.body) == signature(want.body)
+        assert got.cost == want.cost  # exact float equality, not approx
+        # describe() covers ships, local strategies, build sides, row
+        # estimates, and per-node cumulative costs of the whole tree.
+        assert got.physical.describe() == want.physical.describe()
+
+
+def test_rank_of_distinguishes_equal_signatures():
+    """Two distinct commuting operators that merely share a name produce
+    ranked plans with identical signatures; the identity-keyed rank index
+    must still resolve each plan to its own rank."""
+    from repro.core import (
+        Catalog,
+        EmitBounds,
+        FieldMap,
+        FieldSet,
+        MapOp,
+        SourceStats,
+        Source,
+        UdfProperties,
+        attrs,
+        chain,
+        map_udf,
+    )
+    from repro.optimizer import optimize as optimize_plan
+    from tests.conftest import identity_udf
+
+    fields = attrs("t.a", "t.b")
+    catalog = Catalog()
+    catalog.add_source("T", SourceStats(10))
+
+    def named_map(read_pos):
+        props = UdfProperties(
+            reads=FieldSet.of((0, read_pos)),
+            emit_bounds=EmitBounds.exactly(1),
+        )
+        return MapOp("m", map_udf(identity_udf, props), FieldMap(fields))
+
+    flow = chain(Source("T", fields), named_map(0), named_map(1))
+    result = optimize_plan(flow, catalog)
+    assert result.plan_count == 2
+    sigs = {signature(p.body) for p in result.ranked}
+    assert len(sigs) == 1  # the two orders are indistinguishable by name
+    for plan in result.ranked:
+        assert result.rank_of(plan.body) == plan.rank
+
+
+def test_memo_is_shared_across_alternatives(workloads):
+    """The memo table ends up holding every distinct sub-plan exactly once."""
+    from repro.optimizer import CardinalityEstimator, PlanContext
+    from repro.optimizer.physical import PhysicalOptimizer
+    from repro.core.plan import body as plan_body
+    from repro.optimizer import enumerate_flows
+
+    workload = workloads["tpch_q7"]
+    ctx = PlanContext(workload.catalog, AnnotationMode.SCA)
+    alternatives = enumerate_flows(plan_body(workload.plan), ctx)
+    estimator = CardinalityEstimator(ctx, workload.hints)
+    shared = PhysicalOptimizer(ctx, estimator, workload.params)
+    for alt in alternatives:
+        shared.optimize(alt)
+    distinct = set()
+    for alt in alternatives:
+        stack = [alt]
+        while stack:
+            n = stack.pop()
+            distinct.add(n)
+            stack.extend(n.children)
+    # every distinct interned subtree was planned exactly once
+    assert set(shared._memo) == distinct
+    assert len(shared._memo) < sum(1 + _size(a) for a in alternatives)
+
+
+def _size(node):
+    return 1 + sum(_size(c) for c in node.children)
