@@ -6,6 +6,7 @@ Usage::
     python -m repro analyze tpch_q7
     python -m repro enumerate clickstream --mode manual
     python -m repro experiment textmining --picks 10
+    python -m repro experiment tpch_q7 --scale 10
 """
 
 from __future__ import annotations
@@ -35,7 +36,7 @@ def cmd_list(_args) -> int:
 
 
 def cmd_analyze(args) -> int:
-    workload = ALL_WORKLOADS[args.workload]()
+    workload = ALL_WORKLOADS[args.workload](scale_factor=args.scale)
     ctx = PlanContext(workload.catalog, _mode(args.mode))
     print(f"Implemented flow for {workload.name}:")
     print(render_tree(body(workload.plan)))
@@ -61,7 +62,7 @@ def cmd_analyze(args) -> int:
 
 
 def cmd_enumerate(args) -> int:
-    workload = ALL_WORKLOADS[args.workload]()
+    workload = ALL_WORKLOADS[args.workload](scale_factor=args.scale)
     ctx = PlanContext(workload.catalog, _mode(args.mode))
     flows = enumerate_flows(body(workload.plan), ctx)
     print(f"{len(flows)} valid reordered data flows ({args.mode} properties):")
@@ -76,7 +77,7 @@ def cmd_enumerate(args) -> int:
 
 
 def cmd_experiment(args) -> int:
-    workload = ALL_WORKLOADS[args.workload]()
+    workload = ALL_WORKLOADS[args.workload](scale_factor=args.scale)
     outcome = run_experiment(
         workload,
         picks=args.picks,
@@ -105,6 +106,12 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=f"{name} a workload")
         p.add_argument("workload", choices=sorted(ALL_WORKLOADS))
         p.add_argument("--mode", choices=("sca", "manual"), default="sca")
+        p.add_argument(
+            "--scale",
+            type=float,
+            default=1.0,
+            help="datagen scale factor (rows ~ scale x workload default)",
+        )
         if extra:
             p.add_argument("--limit", type=int, default=25)
         if name == "experiment":

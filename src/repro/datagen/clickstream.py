@@ -14,7 +14,7 @@ inputs at laptop scale:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from .rng import make_rng
 
@@ -29,6 +29,14 @@ class ClickScale:
     buy_fraction: float = 0.35
     user_info_fraction: float = 0.9
     users: int = 700
+
+    def scaled(self, factor: float) -> "ClickScale":
+        """Row counts multiplied by ``factor``; fractions unchanged."""
+        return replace(
+            self,
+            sessions=max(1, int(self.sessions * factor)),
+            users=max(1, int(self.users * factor)),
+        )
 
 
 @dataclass(slots=True)

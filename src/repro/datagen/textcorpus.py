@@ -10,7 +10,7 @@ NLP annotators in the workload have the same *filtering* behavior
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from .rng import make_rng
 
@@ -35,6 +35,10 @@ class CorpusScale:
     p_drug: float = 0.20
     p_mesh: float = 0.45
     p_species: float = 0.35
+
+    def scaled(self, factor: float) -> "CorpusScale":
+        """Document count multiplied by ``factor``; mention rates unchanged."""
+        return replace(self, documents=max(1, int(self.documents * factor)))
 
 
 @dataclass(slots=True)

@@ -5,6 +5,7 @@ from .metrics import ExecutionReport, OpMetrics
 from .partition import (
     broadcast,
     gather,
+    hash_key,
     repartition_by_key,
     round_robin,
     stable_hash,
@@ -18,6 +19,7 @@ __all__ = [
     "broadcast",
     "execute_physical",
     "gather",
+    "hash_key",
     "repartition_by_key",
     "round_robin",
     "stable_hash",

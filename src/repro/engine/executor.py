@@ -10,6 +10,29 @@ Estimated costs (optimizer) and measured times (engine) share
 :class:`~repro.optimizer.cost.CostParams`; they diverge only through
 cardinality-estimation error, hint error, and skew — the same reasons the
 paper's estimates diverge from its cluster runtimes.
+
+Pipeline-stage model
+--------------------
+The default (streaming) execution path runs the plan as a DAG of
+*pipeline stages* (see :meth:`PhysNode.pipeline_stages`): each stage is a
+pipeline breaker — a source scan, an operator behind a non-forward ship,
+or a blocking local strategy (sort-based Reduce/CoGroup, hash-join build,
+nested-loop cross) — plus the maximal chain of forward-shipped Map
+operators (and the collecting Sink) fused on top of it.  A fused chain
+streams each partition through every Map in bounded record batches
+(``stream_batch_rows``), so the intermediate partition lists the
+materializing engine allocates per operator never exist: peak transient
+memory is O(batch), not O(dataset), which is what lets much larger
+datagen scales run in the same footprint.
+
+Blocking stages still buffer whole partitions; when a blocking stage's
+per-instance share exceeds ``CostParams.memory_per_instance``, the spill
+to disk is charged via ``CostParams.spill_bytes`` exactly as before.  The
+time model is bit-identical between the streaming and materializing
+paths: per-operator :class:`OpMetrics` are reported per logical operator
+in the same order with the same float arithmetic, only the intermediate
+buffering differs.  ``streaming=False`` selects the seed materializing
+path, kept as the parity reference.
 """
 
 from __future__ import annotations
@@ -37,7 +60,13 @@ from ..core.reference import (
     group_by,
 )
 from ..optimizer.cost import CostParams
-from ..optimizer.physical import LocalStrategy, PhysNode, Ship, ShipKind
+from ..optimizer.physical import (
+    LocalStrategy,
+    PhysNode,
+    Ship,
+    ShipKind,
+    pipelineable,
+)
 from .metrics import ExecutionReport, OpMetrics
 from .partition import (
     Partitions,
@@ -73,14 +102,22 @@ def _part_bytes(parts: Partitions) -> list[float]:
 class Engine:
     """Executes physical plans on partitioned in-memory data.
 
+    With ``streaming`` (the default) fused Map chains are executed as
+    per-partition batched pipelines and intermediate partition lists are
+    never materialized; ``streaming=False`` runs the materializing
+    reference path.  Records and simulated times are bit-identical
+    between the two.
+
     With ``reuse_subtree_results`` the engine memoizes the (deterministic)
     outcome of every executed physical subtree — output partitions plus
     the per-operator metrics — and replays it when another plan of the
     same experiment contains an identical subtree over the same source
     data.  The shared Volcano memo in the optimizer hands structurally
     shared sub-plans to the engine as the *same* ``PhysNode`` objects, so
-    the rank-picked plans of one experiment hit this cache heavily.
-    Reported records and simulated times are bit-identical either way.
+    the rank-picked plans of one experiment hit this cache heavily.  In
+    streaming mode the cache keys on pipeline-stage boundaries (breakers
+    and the chains fused onto them) instead of every node.  Reported
+    records and simulated times are bit-identical either way.
     """
 
     def __init__(
@@ -88,10 +125,14 @@ class Engine:
         params: CostParams | None = None,
         true_costs: dict[str, float] | None = None,
         reuse_subtree_results: bool = False,
+        streaming: bool = True,
+        stream_batch_rows: int = 1024,
     ) -> None:
         self.params = params or CostParams()
         self.true_costs = true_costs or {}
         self.reuse_subtree_results = reuse_subtree_results
+        self.streaming = streaming
+        self.stream_batch_rows = max(1, stream_batch_rows)
         self._subtree_cache: dict[
             PhysNode, tuple[Partitions, tuple[OpMetrics, ...]]
         ] = {}
@@ -134,6 +175,84 @@ class Engine:
         return parts
 
     def _run_subtree(
+        self, node: PhysNode, data: SourceData, report: ExecutionReport
+    ) -> Partitions:
+        if self.streaming and pipelineable(node):
+            # Fused stage chain: collect the forward-shipped Maps (and
+            # Sink) down to the stage's pipeline breaker, run the breaker,
+            # then stream its output through the whole chain at once.  A
+            # cached interior node (another plan's stage boundary) also
+            # stops the descent, so shared chain prefixes replay instead
+            # of re-executing.
+            cache = self._subtree_cache if self.reuse_subtree_results else None
+            chain = [node]
+            below = node.children[0]
+            while pipelineable(below) and (cache is None or below not in cache):
+                chain.append(below)
+                below = below.children[0]
+            base = self._run(below, data, report)
+            chain.reverse()
+            return self._run_chain(chain, base, report)
+        return self._run_breaker(node, data, report)
+
+    # -- fused map chains ---------------------------------------------------------
+
+    def _run_chain(
+        self,
+        chain: list[PhysNode],
+        base: Partitions,
+        report: ExecutionReport,
+    ) -> Partitions:
+        """Stream partitions through a fused chain of Map operators.
+
+        Each partition flows through every Map of the chain in bounded
+        batches, so no intermediate partition list is ever built.  The
+        per-operator accounting accumulates the same integer row counts
+        the materializing path derives from full partitions, keeping the
+        reported metrics bit-identical.  A Sink in the chain collects
+        without transforming or reporting, as on the materializing path.
+        """
+        stages = [
+            (n, n.logical.op) for n in chain if not isinstance(n.logical.op, Sink)
+        ]
+        if not stages:
+            return base
+        degree = len(base)
+        in_rows = [[0] * degree for _ in stages]
+        out_rows = [[0] * degree for _ in stages]
+        out = empty_partitions(degree)
+        batch = self.stream_batch_rows
+        for i, rows in enumerate(base):
+            collected = out[i]
+            for start in range(0, len(rows), batch):
+                cur = rows[start : start + batch]
+                for k, (_, op) in enumerate(stages):
+                    if not cur:
+                        break
+                    in_rows[k][i] += len(cur)
+                    cur = apply_map(op, cur)
+                    out_rows[k][i] += len(cur)
+                collected.extend(cur)
+        params = self.params
+        for k, (stage_node, op) in enumerate(stages):
+            metrics = OpMetrics(name=op.name, strategy=stage_node.local.value)
+            cost_call = self._cost_per_call(op.name)
+            cpu_per_instance = [
+                in_rows[k][i] * cost_call + out_rows[k][i] * params.record_overhead
+                for i in range(degree)
+            ]
+            metrics.rows_in = sum(in_rows[k])
+            metrics.rows_out = sum(out_rows[k])
+            metrics.udf_calls = metrics.rows_in
+            metrics.cpu_units_max = max(cpu_per_instance)
+            metrics.cpu_units_total = sum(cpu_per_instance)
+            metrics.local_seconds += metrics.cpu_units_max / params.cpu_rate
+            report.per_op.append(metrics)
+        return out
+
+    # -- pipeline breakers --------------------------------------------------------
+
+    def _run_breaker(
         self, node: PhysNode, data: SourceData, report: ExecutionReport
     ) -> Partitions:
         op = node.logical.op

@@ -1,4 +1,10 @@
-"""Execution metrics and the simulated-time report."""
+"""Execution metrics and the simulated-time report.
+
+One :class:`OpMetrics` is reported per *logical* operator regardless of
+how the engine schedules it: operators fused into one streaming pipeline
+stage still report individually, with the same values the materializing
+path derives from fully built partitions.
+"""
 
 from __future__ import annotations
 
@@ -47,6 +53,11 @@ class ExecutionReport:
     @property
     def udf_calls(self) -> int:
         return sum(m.udf_calls for m in self.per_op)
+
+    @property
+    def rows_scanned(self) -> int:
+        """Rows read by all source scans — the plan's input volume."""
+        return sum(m.rows_out for m in self.per_op if m.strategy == "scan")
 
     def minutes_label(self) -> str:
         """Human label like the paper's bar annotations, e.g. ``6:23 min``."""

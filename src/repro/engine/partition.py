@@ -11,21 +11,33 @@ import zlib
 from typing import Any, Iterable
 
 from ..core.record import RawRecord
+from ..core.reference import key_of
 from ..core.schema import Attribute
 
 Partitions = list[list[RawRecord]]
 
 
 def stable_hash(value: Any) -> int:
-    """Deterministic, process-independent hash for record values."""
+    """Deterministic, process-independent hash for record values.
+
+    Values that compare equal as Python dict keys must hash equally here,
+    mirroring the builtin ``hash`` invariant: ``True == 1 == 1.0``, so all
+    three must land in the same hash bucket.  Group-by and join semantics
+    key on dict equality, so if equal keys hashed differently a hash
+    repartition would split an equal-key group across instances and the
+    parallel engine would silently diverge from the reference oracle.
+    """
     if value is None:
         return 0x9E3779B1
     if isinstance(value, bool):
-        return 0x85EBCA77 if value else 0xC2B2AE3D
+        value = int(value)  # bools equal their int value as dict keys
+    elif isinstance(value, float):
+        if value.is_integer():
+            value = int(value)  # int-valued floats equal their int value
+        else:
+            return zlib.crc32(repr(value).encode())
     if isinstance(value, int):
         return (value * 0x9E3779B1) & 0xFFFFFFFF
-    if isinstance(value, float):
-        return zlib.crc32(repr(value).encode())
     if isinstance(value, str):
         return zlib.crc32(value.encode())
     if isinstance(value, (tuple, list)):
@@ -37,7 +49,9 @@ def stable_hash(value: Any) -> int:
 
 
 def hash_key(row: RawRecord, key: tuple[Attribute, ...]) -> int:
-    return stable_hash(tuple(row[a] for a in key))
+    """Stable hash of a record's key tuple; a missing key attribute raises
+    the same ``ExecutionError`` as the reference oracle's ``key_of``."""
+    return stable_hash(key_of(row, key))
 
 
 def empty_partitions(degree: int) -> Partitions:

@@ -72,8 +72,13 @@ class OptimizationResult:
     def picks(self, count: int = 10) -> list[RankedPlan]:
         """Plans picked at regular rank intervals (the Figure 5/6 protocol)."""
         n = len(self.ranked)
+        if count <= 0:
+            return []
         if n <= count:
             return list(self.ranked)
+        if count == 1:
+            # A single pick has no interval to spread over: the rank-1 plan.
+            return [self.ranked[0]]
         picks = []
         for i in range(count):
             rank_index = round(i * (n - 1) / (count - 1))

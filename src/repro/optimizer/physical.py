@@ -79,9 +79,17 @@ class LocalStrategy(enum.Enum):
     COLLECT = "collect"
 
 
-@dataclass(frozen=True, slots=True)
+@dataclass(frozen=True, slots=True, eq=False)
 class PhysNode:
-    """One operator of a physical execution plan."""
+    """One operator of a physical execution plan.
+
+    ``eq=False`` keeps ``object`` identity hashing/equality: the generated
+    dataclass ``__hash__``/``__eq__`` would recurse over the whole subtree
+    on every memo or subtree-cache lookup.  The shared Volcano memo hands
+    structurally shared sub-plans around as the *same* object, so identity
+    is the right equivalence for every hot lookup (engine subtree cache,
+    rank bookkeeping); structural comparisons go through ``describe()``.
+    """
 
     logical: Node
     ships: tuple[Ship, ...]
@@ -97,6 +105,34 @@ class PhysNode:
     def name(self) -> str:
         return self.logical.op.name
 
+    def pipeline_stages(self) -> tuple[tuple["PhysNode", ...], ...]:
+        """Decompose the plan into the engine's streaming pipeline stages.
+
+        A *stage* is one per-partition streaming pass: a pipeline breaker
+        (source scan, any operator behind a non-forward ship, or a
+        blocking local strategy — sort-based Reduce/CoGroup, hash-join
+        build, nested-loop cross) followed by the maximal chain of
+        forward-shipped Map operators (and a collecting Sink) fused on
+        top of it.  Every node of the plan appears in exactly one stage;
+        stages are listed in execution order (children before parents),
+        each stage upstream-first.
+        """
+        stages: list[tuple[PhysNode, ...]] = []
+
+        def visit(top: "PhysNode") -> None:
+            chain: list[PhysNode] = []
+            cur = top
+            while pipelineable(cur):
+                chain.append(cur)
+                cur = cur.children[0]
+            for child in cur.children:
+                visit(child)
+            chain.reverse()
+            stages.append((cur, *chain))
+
+        visit(self)
+        return tuple(stages)
+
     def describe(self, indent: int = 0) -> str:
         pad = "  " * indent
         ships = ", ".join(s.describe() for s in self.ships) or "-"
@@ -108,6 +144,21 @@ class PhysNode:
         for child in self.children:
             lines.append(child.describe(indent + 1))
         return "\n".join(lines)
+
+
+def pipelineable(node: PhysNode) -> bool:
+    """True when *node* fuses into the pipeline stage of its only child.
+
+    Forward-shipped Maps stream record batches without a barrier, and a
+    Sink merely collects its input; everything else — source scans,
+    non-forward ships, blocking local strategies — breaks the pipeline.
+    """
+    op = node.logical.op
+    if isinstance(op, Sink):
+        return True
+    return isinstance(op, MapOp) and all(
+        ship.kind is ShipKind.FORWARD for ship in node.ships
+    )
 
 
 def _keep_partitionings(

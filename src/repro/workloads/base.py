@@ -35,6 +35,15 @@ class Workload:
     params: CostParams = field(default_factory=CostParams)
 
 
+def resolve_scale(scale, default, scale_factor: float):
+    """The builders' shared ``scale_factor`` knob: multiply the datagen
+    scale (given or default) via its ``scaled()`` method."""
+    scale = scale if scale is not None else default
+    if scale_factor != 1.0:
+        scale = scale.scaled(scale_factor)
+    return scale
+
+
 def bind_rows(
     rows: list[dict], columns: dict[str, Attribute]
 ) -> list[RawRecord]:

@@ -30,7 +30,7 @@ from ..core.udf import binary_udf, reduce_udf
 from ..datagen.clickstream import ClickScale, generate_clickstream
 from ..optimizer.cardinality import Hints
 from ..optimizer.cost import CostParams
-from .base import Workload, bind_rows, register_source
+from .base import Workload, bind_rows, register_source, resolve_scale
 
 # click fields: session_id(0), ip(1), ts(2), url(3), action(4)
 
@@ -105,8 +105,10 @@ def _annotations() -> dict[str, UdfProperties]:
 
 
 def build_clickstream(
-    scale: ClickScale | None = None, seed: int = 17
+    scale: ClickScale | None = None, seed: int = 17, scale_factor: float = 1.0
 ) -> Workload:
+    """Construct the clickstream workload; ``scale_factor`` multiplies rows."""
+    scale = resolve_scale(scale, ClickScale(), scale_factor)
     click = prefixed("click", "session_id", "ip", "ts", "url", "action")
     login = prefixed("login", "session_id", "user_id")
     user = prefixed("user", "user_id", "name", "country", "signup_day")

@@ -39,7 +39,7 @@ from ..datagen.textcorpus import (
 )
 from ..optimizer.cardinality import Hints
 from ..optimizer.cost import CostParams
-from .base import Workload, bind_rows, register_source
+from .base import Workload, bind_rows, register_source, resolve_scale
 
 # doc fields: doc_id(0), text(1); derived: tokens(2), pos_tags(3),
 # genes(4), drugs(5), mesh(6), species(7), relations(8)
@@ -152,8 +152,10 @@ def _annotations() -> dict[str, UdfProperties]:
 
 
 def build_textmining(
-    scale: CorpusScale | None = None, seed: int = 31
+    scale: CorpusScale | None = None, seed: int = 31, scale_factor: float = 1.0
 ) -> Workload:
+    """Construct the text-mining workload; ``scale_factor`` multiplies rows."""
+    scale = resolve_scale(scale, CorpusScale(), scale_factor)
     doc = prefixed("doc", "doc_id", "text")
     docs_src = Source("documents", doc)
     ann = _annotations()

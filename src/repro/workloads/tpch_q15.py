@@ -24,7 +24,7 @@ from ..core.udf import binary_udf, map_udf, reduce_udf
 from ..datagen.tpch import TpchScale, generate_tpch
 from ..optimizer.cardinality import Hints
 from ..optimizer.cost import CostParams
-from .base import Workload, bind_rows, register_source
+from .base import Workload, bind_rows, register_source, resolve_scale
 
 # Three-month shipdate window (paper: [DATE, DATE + 3 months]).
 Q15_DATE_A = 1460
@@ -79,7 +79,11 @@ def _annotations() -> dict[str, UdfProperties]:
     }
 
 
-def build_q15(scale: TpchScale | None = None, seed: int = 43) -> Workload:
+def build_q15(
+    scale: TpchScale | None = None, seed: int = 43, scale_factor: float = 1.0
+) -> Workload:
+    """Construct the Q15 workload; ``scale_factor`` multiplies row counts."""
+    scale = resolve_scale(scale, TpchScale(), scale_factor)
     li = prefixed("l", "orderkey", "suppkey", "extendedprice", "discount", "shipdate")
     s = prefixed("s", "suppkey", "name", "nationkey")
 

@@ -29,7 +29,7 @@ from ..core.udf import binary_udf, map_udf, reduce_udf
 from ..datagen.tpch import TpchScale, generate_tpch
 from ..optimizer.cardinality import Hints
 from ..optimizer.cost import CostParams
-from .base import Workload, bind_rows, register_source
+from .base import Workload, bind_rows, register_source, resolve_scale
 
 # Shipdate window (integer days; ~6 months of 7 years -> ~7% true selectivity;
 # the paper reduces the filter's selectivity relative to stock TPC-H Q7).
@@ -117,8 +117,15 @@ def _annotations() -> dict[str, UdfProperties]:
     }
 
 
-def build_q7(scale: TpchScale | None = None, seed: int = 42) -> Workload:
-    """Construct the Q7 workload: plan, catalog, data, hints, true costs."""
+def build_q7(
+    scale: TpchScale | None = None, seed: int = 42, scale_factor: float = 1.0
+) -> Workload:
+    """Construct the Q7 workload: plan, catalog, data, hints, true costs.
+
+    ``scale_factor`` multiplies the datagen row counts (of ``scale`` or the
+    defaults), so the streaming engine can be driven at ~10x inputs.
+    """
+    scale = resolve_scale(scale, TpchScale(), scale_factor)
     li = prefixed("l", "orderkey", "suppkey", "extendedprice", "discount", "shipdate")
     s = prefixed("s", "suppkey", "name", "nationkey")
     o = prefixed("o", "orderkey", "custkey", "orderdate")

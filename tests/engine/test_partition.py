@@ -1,13 +1,19 @@
 """Partitioning primitives: determinism, co-location, conservation."""
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core import attrs
+from repro.core import ExecutionError, attrs
 from repro.engine import broadcast, gather, repartition_by_key, round_robin, stable_hash
 from repro.engine.partition import hash_key
 
 A, B = attrs("a", "b")
+
+# Values that collide as dict keys across types; group-by and join
+# semantics key on dict equality, so the partitioner must co-locate them.
+MIXED_KEYS = [0, 1, 2, -1, True, False, 0.0, -0.0, 1.0, 2.0, -1.0,
+              2**40, float(2**40), 2.5, "1", "a", None]
 
 
 class TestStableHash:
@@ -18,8 +24,23 @@ class TestStableHash:
         assert stable_hash(None) == stable_hash(None)
         assert stable_hash(1.5) == stable_hash(1.5)
 
-    def test_bool_not_confused_with_int(self):
-        assert stable_hash(True) != stable_hash(1)
+    def test_equal_dict_keys_hash_equal(self):
+        """``True == 1 == 1.0`` as dict keys, so all three must hash the
+        same — otherwise a hash repartition splits an equal-key group."""
+        assert stable_hash(True) == stable_hash(1) == stable_hash(1.0)
+        assert stable_hash(False) == stable_hash(0) == stable_hash(0.0)
+        assert stable_hash(0) == stable_hash(-0.0)
+        assert stable_hash(2**40) == stable_hash(float(2**40))
+        assert stable_hash((True, 2.0)) == stable_hash((1, 2))
+
+    @given(st.sampled_from(MIXED_KEYS), st.sampled_from(MIXED_KEYS))
+    def test_hash_respects_key_equality(self, a, b):
+        if a == b:
+            assert stable_hash(a) == stable_hash(b)
+
+    def test_non_integer_floats_keep_distinct_path(self):
+        assert stable_hash(2.5) == stable_hash(2.5)
+        assert stable_hash(float("inf")) == stable_hash(float("inf"))
 
     @given(st.lists(st.integers(), min_size=2, max_size=2, unique=True))
     def test_spreads_values(self, pair):
@@ -28,6 +49,16 @@ class TestStableHash:
         a, b = pair
         if abs(a - b) < 1000:
             assert stable_hash(a) != stable_hash(b)
+
+
+class TestHashKey:
+    def test_missing_key_attribute_raises_execution_error(self):
+        with pytest.raises(ExecutionError, match="missing from record at runtime"):
+            hash_key({A: 1}, (B,))
+
+    def test_repartition_propagates_missing_key_error(self):
+        with pytest.raises(ExecutionError, match="missing from record at runtime"):
+            repartition_by_key([[{A: 1}]], (B,), 4)
 
 
 class TestRoundRobin:
@@ -51,6 +82,16 @@ class TestRepartition:
         assert sorted(r[B] for r in gather(parts)) == sorted(r[B] for r in rows)
         # co-location: every key appears in exactly one partition
         for key in set(keys):
+            holders = [i for i, p in enumerate(parts) if any(r[A] == key for r in p)]
+            assert len(holders) <= 1
+
+    @given(st.lists(st.sampled_from(MIXED_KEYS), max_size=40), st.integers(1, 8))
+    def test_mixed_type_key_groups_colocated(self, keys, degree):
+        """Cross-type equal keys (1 / 1.0 / True) must land on one instance."""
+        rows = [{A: k, B: i} for i, k in enumerate(keys)]
+        parts, _ = repartition_by_key(round_robin(rows, degree), (A,), degree)
+        assert sorted(r[B] for r in gather(parts)) == sorted(r[B] for r in rows)
+        for key in {k for k in keys}:
             holders = [i for i, p in enumerate(parts) if any(r[A] == key for r in p)]
             assert len(holders) <= 1
 

@@ -1,0 +1,218 @@
+"""The streaming pipelined engine must be bit-identical to the seed
+materializing engine.
+
+The streaming path fuses forward-shipped Map chains (and the Sink) into
+per-partition batched pipelines and caches subtree results at pipeline
+breaker boundaries.  These tests pin that, across all four paper
+workloads and rank-picked plans, records, per-operator metrics, and
+simulated seconds are *exactly* equal to the materializing reference —
+with and without ``reuse_subtree_results`` — and that the mixed-type-key
+partitioning fix keeps the parallel engine on the reference oracle.
+"""
+
+import pytest
+
+from repro.core import (
+    AnnotationMode,
+    Catalog,
+    FieldMap,
+    ReduceOp,
+    Source,
+    SourceStats,
+    attrs,
+    chain,
+    datasets_equal,
+    evaluate,
+    reduce_udf,
+)
+from repro.datagen import ClickScale, CorpusScale, TpchScale
+from repro.engine import Engine
+from repro.optimizer import (
+    CardinalityEstimator,
+    CostParams,
+    Optimizer,
+    PlanContext,
+    optimize_physical,
+)
+from repro.optimizer.physical import PhysNode, pipelineable
+from repro.workloads import (
+    build_clickstream,
+    build_q7,
+    build_q15,
+    build_textmining,
+)
+
+SMALL_TPCH = TpchScale(suppliers=40, customers=80, orders=400)
+
+BUILDERS = {
+    "tpch_q7": lambda: build_q7(SMALL_TPCH),
+    "tpch_q15": lambda: build_q15(SMALL_TPCH),
+    "clickstream": lambda: build_clickstream(ClickScale(sessions=250)),
+    "textmining": lambda: build_textmining(CorpusScale(documents=250)),
+}
+
+
+@pytest.fixture(scope="module")
+def optimized():
+    """workload name -> (workload, rank-picked plans), optimized once."""
+    out = {}
+    for name, build in BUILDERS.items():
+        workload = build()
+        result = Optimizer(
+            workload.catalog, workload.hints, AnnotationMode.SCA, workload.params
+        ).optimize(workload.plan)
+        out[name] = (workload, result.picks(5))
+    return out
+
+
+class TestStreamingParity:
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    @pytest.mark.parametrize("reuse", [False, True], ids=["fresh", "reuse"])
+    def test_bit_identical_to_materializing_engine(self, optimized, name, reuse):
+        workload, picks = optimized[name]
+        streaming = Engine(
+            workload.params, workload.true_costs, reuse_subtree_results=reuse
+        )
+        materializing = Engine(
+            workload.params,
+            workload.true_costs,
+            reuse_subtree_results=reuse,
+            streaming=False,
+        )
+        for plan in picks:
+            got = streaming.execute(plan.physical, workload.data)
+            want = materializing.execute(plan.physical, workload.data)
+            assert got.records == want.records
+            assert got.report.per_op == want.report.per_op  # exact OpMetrics
+            assert got.seconds == want.seconds  # bit-identical, not approx
+
+    @pytest.mark.parametrize("batch", [1, 7, 100_000])
+    def test_batch_size_does_not_change_results(self, optimized, batch):
+        workload, picks = optimized["textmining"]
+        reference = Engine(workload.params, workload.true_costs, streaming=False)
+        batched = Engine(workload.params, workload.true_costs, stream_batch_rows=batch)
+        got = batched.execute(picks[0].physical, workload.data)
+        want = reference.execute(picks[0].physical, workload.data)
+        assert got.records == want.records
+        assert got.report.per_op == want.report.per_op
+
+
+class TestBreakerBoundaryCache:
+    def test_cache_hits_replay_identical_metrics(self, optimized):
+        workload, picks = optimized["tpch_q15"]
+        engine = Engine(
+            workload.params, workload.true_costs, reuse_subtree_results=True
+        )
+        first = engine.execute(picks[0].physical, workload.data)
+        assert engine._subtree_cache  # the run populated the cache
+        second = engine.execute(picks[0].physical, workload.data)
+        assert second.records == first.records
+        assert second.report.per_op == first.report.per_op
+        assert second.seconds == first.seconds
+
+    def test_cache_keys_only_stage_boundaries(self, optimized):
+        """Streaming caches per pipeline stage, not per plan node."""
+        workload, picks = optimized["textmining"]
+        engine = Engine(
+            workload.params, workload.true_costs, reuse_subtree_results=True
+        )
+        plan = picks[0].physical
+        engine.execute(plan, workload.data)
+        nodes = 0
+        stack = [plan]
+        while stack:
+            node = stack.pop()
+            nodes += 1
+            stack.extend(node.children)
+        # The whole text-mining plan is one fused stage (source + Map
+        # chain + sink): the cache holds the root entry plus the stage's
+        # breaker entry, far fewer than the per-node seed cache.
+        assert len(engine._subtree_cache) == len(plan.pipeline_stages()) + 1
+        assert len(engine._subtree_cache) < nodes
+
+    def test_physnode_hashes_by_identity(self):
+        assert PhysNode.__hash__ is object.__hash__
+        # Structurally equal plans built by two fresh optimizers are
+        # distinct objects and distinct cache keys: equality no longer
+        # recurses over the whole subtree.
+        fields = attrs("p.k", "p.v")
+        catalog = Catalog()
+        catalog.add_source("P", SourceStats(row_count=10))
+        ctx = PlanContext(catalog, AnnotationMode.SCA)
+        flow = chain(Source("P", fields))
+        first = optimize_physical(flow, ctx, CardinalityEstimator(ctx), CostParams())
+        second = optimize_physical(flow, ctx, CardinalityEstimator(ctx), CostParams())
+        assert first.describe() == second.describe()
+        assert first is not second
+        assert first != second
+
+
+class TestPipelineStages:
+    def test_textmining_is_one_fused_stage(self, optimized):
+        _, picks = optimized["textmining"]
+        stages = picks[0].physical.pipeline_stages()
+        assert len(stages) == 1
+        (stage,) = stages
+        # breaker first (the scan), then the whole fused annotator chain
+        # (the optimizer plans the body, so no Sink node appears here)
+        assert stage[0].name == "documents"
+        assert stage[1].name == "tokenize"
+        assert len(stage) == 8  # source + 7 annotators, one streaming pass
+
+    def test_every_node_in_exactly_one_stage(self, optimized):
+        for name in sorted(BUILDERS):
+            _, picks = optimized[name]
+            for plan in picks:
+                stages = plan.physical.pipeline_stages()
+                seen = [node for stage in stages for node in stage]
+                assert len(seen) == len(set(map(id, seen)))
+                stack, nodes = [plan.physical], []
+                while stack:
+                    node = stack.pop()
+                    nodes.append(node)
+                    stack.extend(node.children)
+                assert set(map(id, seen)) == set(map(id, nodes))
+                for stage in stages:
+                    assert not pipelineable(stage[0])  # a breaker leads
+                    for fused in stage[1:]:
+                        assert pipelineable(fused)
+
+
+class TestMixedTypeKeyParity:
+    def test_engine_matches_reference_on_mixed_type_keys(self):
+        """``1``/``1.0``/``True`` are one group under dict-key semantics;
+        the repartitioned parallel engine must agree with the oracle."""
+        K = attrs("m.k", "m.v")
+
+        def sum_group(records, out):
+            total = 0
+            for r in records:
+                total = total + r.get_field(1)
+            o = records[0].copy()
+            o.set_field(1, total)
+            out.emit(o)
+
+        keys = [1, 1.0, True, 2, 2.0, 0, False, 0.0, "1", 3, float(2**40), 2**40]
+        rows = [{K[0]: k, K[1]: i + 1} for i, k in enumerate(keys * 5)]
+        data = {"M": rows}
+        catalog = Catalog()
+        catalog.add_source("M", SourceStats(row_count=len(rows)))
+        ctx = PlanContext(catalog, AnnotationMode.SCA)
+        flow = chain(
+            Source("M", K),
+            ReduceOp("sum", reduce_udf(sum_group), FieldMap(K), (0,)),
+        )
+        phys = optimize_physical(
+            flow, ctx, CardinalityEstimator(ctx), CostParams(degree=8)
+        )
+        baseline = evaluate(flow, data)
+        # dict-key semantics collapse 1/1.0/True (and friends) per group
+        distinct_groups = {}
+        for k in keys:
+            distinct_groups[k] = True
+        assert len(baseline) == len(distinct_groups)
+        for streaming in (True, False):
+            engine = Engine(CostParams(degree=8), streaming=streaming)
+            result = engine.execute(phys, data)
+            assert datasets_equal(result.records, baseline)
+            assert len(result.records) == len(distinct_groups)

@@ -1,0 +1,50 @@
+"""The rank-pick protocol (Figures 5/6): endpoint coverage and edge counts."""
+
+import pytest
+
+from repro.core import AnnotationMode
+from repro.datagen import TpchScale
+from repro.optimizer import Optimizer
+from repro.optimizer.optimizer import OptimizationResult, RankedPlan
+from repro.workloads import build_q15
+
+
+def _result(n: int) -> OptimizationResult:
+    ranked = [RankedPlan(rank=i + 1, body=None, physical=None) for i in range(n)]
+    return OptimizationResult(
+        original_body=None,
+        ranked=ranked,
+        enumeration_seconds=0.0,
+        physical_seconds=0.0,
+    )
+
+
+class TestPicks:
+    def test_single_pick_returns_rank_one(self):
+        """picks(1) used to divide by ``count - 1`` and crash."""
+        result = _result(25)
+        picks = result.picks(1)
+        assert [p.rank for p in picks] == [1]
+
+    def test_non_positive_count_picks_nothing(self):
+        assert _result(25).picks(0) == []
+        assert _result(25).picks(-3) == []
+
+    def test_fewer_plans_than_picks_takes_all(self):
+        assert [p.rank for p in _result(4).picks(10)] == [1, 2, 3, 4]
+
+    def test_endpoints_and_spacing(self):
+        picks = _result(100).picks(10)
+        ranks = [p.rank for p in picks]
+        assert len(ranks) == 10
+        assert ranks[0] == 1 and ranks[-1] == 100
+        assert ranks == sorted(set(ranks))
+
+    def test_single_pick_on_real_workload(self):
+        workload = build_q15(TpchScale(suppliers=20, customers=30, orders=120))
+        result = Optimizer(
+            workload.catalog, workload.hints, AnnotationMode.SCA, workload.params
+        ).optimize(workload.plan)
+        (pick,) = result.picks(1)
+        assert pick.rank == 1
+        assert pick is result.best
