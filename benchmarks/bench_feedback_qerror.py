@@ -1,0 +1,77 @@
+"""Feedback-loop quality: q-error and pick rank per adaptive round.
+
+For every stock workload this runs the adaptive optimizer for two
+feedback rounds and records, per round, the estimate quality (median and
+max per-node q-error against observed cardinalities) and the deployed
+pick (estimated-cost rank, measured runtime, measured-runtime rank).
+
+Acceptance, asserted here and pinned by ``tests/feedback``: on at least
+one stock workload round 1 strictly reduces the median q-error while
+improving the pick's measured-runtime rank, and no workload's pick ever
+gets measured-slower through feedback.  The JSON lands next to the
+throughput benches as a CI artifact.
+"""
+
+import json
+
+from conftest import write_result
+
+from repro.feedback import AdaptiveOptimizer
+from repro.workloads import ALL_WORKLOADS
+
+FEEDBACK_ROUNDS = 2
+PICKS = 5
+
+
+def test_feedback_qerror(results_dir):
+    report = {"feedback_rounds": FEEDBACK_ROUNDS, "picks": PICKS, "workloads": {}}
+    improved_somewhere = False
+    for name, build in ALL_WORKLOADS.items():
+        workload = build()
+        adaptive = AdaptiveOptimizer(workload, picks=PICKS)
+        outcome = adaptive.run(feedback_rounds=FEEDBACK_ROUNDS)
+        rounds = []
+        for r in outcome.rounds:
+            rounds.append(
+                {
+                    "round": r.index,
+                    "qerror_median": r.qerror.median,
+                    "qerror_max": r.qerror.max,
+                    "qerror_nodes": r.qerror.count,
+                    "pick_est_rank": r.pick.rank,
+                    "pick_seconds": r.pick_seconds,
+                    "pick_measured_rank": r.pick_measured_rank,
+                    "plans_executed": len(r.executed),
+                }
+            )
+        report["workloads"][name] = {
+            "plan_count": outcome.final.optimization.plan_count,
+            "converged": outcome.converged,
+            "rounds": rounds,
+        }
+
+        round0, final = outcome.rounds[0], outcome.final
+        # Feedback must never deploy a measured-slower plan...
+        assert final.pick_seconds <= round0.pick_seconds, name
+        assert final.pick_measured_rank <= round0.pick_measured_rank, name
+        # ...and estimates must not get worse in the median.
+        assert final.qerror.median <= round0.qerror.median, name
+        if len(outcome.rounds) > 1:
+            round1 = outcome.rounds[1]
+            strictly_better_rank = (
+                round1.pick_measured_rank < round0.pick_measured_rank
+            )
+            preserved_best = (
+                round0.pick_measured_rank == 1 and round1.pick_measured_rank == 1
+            )
+            if round1.qerror.median < round0.qerror.median and (
+                strictly_better_rank or preserved_best
+            ):
+                improved_somewhere = True
+
+    # The headline claim: at least one stock workload demonstrably gains.
+    assert improved_somewhere
+
+    write_result(
+        results_dir, "feedback_qerror.json", json.dumps(report, indent=2)
+    )

@@ -61,6 +61,12 @@ from .core import (
     validate,
 )
 from .engine import Engine, ExecutionResult, execute_physical
+from .feedback import (
+    AdaptiveOptimizer,
+    FeedbackEstimator,
+    ObservationCollector,
+    StatisticsStore,
+)
 from .optimizer import (
     CardinalityEstimator,
     CostParams,
@@ -78,6 +84,7 @@ from .sca import analyze_udf, compile_to_tac, parse_tac
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdaptiveOptimizer",
     "AnnotationMode",
     "Attribute",
     "CardinalityEstimator",
@@ -89,6 +96,7 @@ __all__ = [
     "EmitBounds",
     "Engine",
     "ExecutionResult",
+    "FeedbackEstimator",
     "FieldMap",
     "FieldSet",
     "Hints",
@@ -97,6 +105,7 @@ __all__ = [
     "MapOp",
     "MatchOp",
     "Node",
+    "ObservationCollector",
     "OptimizationResult",
     "Optimizer",
     "OutputRecord",
@@ -106,6 +115,7 @@ __all__ = [
     "Sink",
     "Source",
     "SourceStats",
+    "StatisticsStore",
     "Udf",
     "UdfProperties",
     "analyze_udf",

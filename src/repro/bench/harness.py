@@ -9,9 +9,12 @@ plan — exactly the procedure behind Figures 5, 6, and 7.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..core.udf import AnnotationMode
 from ..engine.executor import Engine, ExecutionResult
+from ..feedback.adaptive import AdaptiveOptimizer, AdaptiveReport
+from ..feedback.store import StatisticsStore
 from ..optimizer.cost import CostParams
 from ..optimizer.optimizer import OptimizationResult, Optimizer, RankedPlan
 from ..workloads.base import Workload
@@ -34,6 +37,8 @@ class ExperimentOutcome:
     enumeration_seconds: float
     executed: list[ExecutedPlan] = field(default_factory=list)
     optimization: OptimizationResult | None = None
+    # Populated only when the experiment ran with feedback rounds.
+    feedback: AdaptiveReport | None = None
 
     @property
     def norm_costs(self) -> list[float]:
@@ -63,8 +68,24 @@ def run_experiment(
     mode: AnnotationMode = AnnotationMode.SCA,
     params: CostParams | None = None,
     execute_all: bool = False,
+    feedback_rounds: int = 0,
+    stats_store: StatisticsStore | str | Path | None = None,
 ) -> ExperimentOutcome:
-    """Optimize a workload, execute rank-picked plans, collect the outcome."""
+    """Optimize a workload, execute rank-picked plans, collect the outcome.
+
+    With ``feedback_rounds > 0`` the optimization runs through the
+    adaptive feedback loop (:class:`AdaptiveOptimizer`): runtime
+    observations from each round's executions re-estimate the next, and
+    the reported outcome is the final round's.  ``stats_store`` may be a
+    live :class:`StatisticsStore` or a JSON path — a path is loaded if it
+    exists (warm start) and saved back after the run.  With
+    ``feedback_rounds=0`` and no store this is exactly the feedback-free
+    protocol — the code path below is untouched.
+    """
+    if feedback_rounds > 0 or stats_store is not None:
+        return _run_feedback_experiment(
+            workload, picks, mode, params, execute_all, feedback_rounds, stats_store
+        )
     params = params or workload.params
     optimizer = Optimizer(workload.catalog, workload.hints, mode, params)
     result = optimizer.optimize(workload.plan)
@@ -92,6 +113,72 @@ def run_experiment(
                 result=execution,
             )
         )
+    return outcome
+
+
+def _run_feedback_experiment(
+    workload: Workload,
+    picks: int,
+    mode: AnnotationMode,
+    params: CostParams | None,
+    execute_all: bool,
+    feedback_rounds: int,
+    stats_store: StatisticsStore | str | Path | None,
+) -> ExperimentOutcome:
+    """The Section 7.3 protocol driven through the adaptive feedback loop."""
+    params = params or workload.params
+    store_path: Path | None = None
+    if isinstance(stats_store, StatisticsStore):
+        store = stats_store
+    elif stats_store is not None:
+        store_path = Path(stats_store)
+        store = StatisticsStore.open(store_path)
+    else:
+        store = StatisticsStore()
+    adaptive = AdaptiveOptimizer(
+        workload, store=store, mode=mode, params=params, picks=picks
+    )
+    report = adaptive.run(feedback_rounds)
+    final = report.final
+    result = final.optimization
+
+    outcome = ExperimentOutcome(
+        workload=workload.name,
+        plan_count=result.plan_count,
+        enumeration_seconds=result.enumeration_seconds,
+        optimization=result,
+        feedback=report,
+    )
+    if execute_all:
+        chosen = result.ranked
+    else:
+        chosen = result.picks(picks)
+        chosen_bodies = {plan.body for plan in chosen}
+        extras = [
+            run.plan for run in final.executed if run.plan.body not in chosen_bodies
+        ]
+        chosen = sorted(chosen + extras, key=lambda plan: plan.rank)
+    # The final round already executed (deterministically) most of the
+    # chosen plans; reuse those results and run only genuinely new ones.
+    prior = {run.plan.body: run.result for run in final.executed}
+    for plan in chosen:
+        execution = prior.get(plan.body)
+        if execution is None:
+            execution = adaptive.engine.execute(plan.physical, workload.data)
+        outcome.executed.append(
+            ExecutedPlan(
+                rank=plan.rank,
+                estimated_cost=plan.cost,
+                runtime_seconds=execution.seconds,
+                runtime_label=execution.report.minutes_label(),
+                is_original=plan.body is result.original_body,
+                result=execution,
+            )
+        )
+    # The replays above were for reporting, not learning.
+    adaptive.collector.clear()
+    if store_path is not None:
+        store.save(store_path)
     return outcome
 
 

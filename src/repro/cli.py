@@ -7,6 +7,7 @@ Usage::
     python -m repro enumerate clickstream --mode manual
     python -m repro experiment textmining --picks 10
     python -m repro experiment tpch_q7 --scale 10
+    python -m repro experiment clickstream --feedback-rounds 2 --stats-store stats.json
 """
 
 from __future__ import annotations
@@ -83,8 +84,15 @@ def cmd_experiment(args) -> int:
         picks=args.picks,
         mode=_mode(args.mode),
         execute_all=args.all,
+        feedback_rounds=args.feedback_rounds,
+        stats_store=args.stats_store,
     )
     print(render_figure(outcome, f"Experiment — {workload.name}"))
+    if outcome.feedback is not None:
+        print()
+        print(outcome.feedback.describe())
+        if args.stats_store:
+            print(f"statistics store saved to {args.stats_store}")
     return 0
 
 
@@ -117,6 +125,21 @@ def build_parser() -> argparse.ArgumentParser:
         if name == "experiment":
             p.add_argument("--picks", type=int, default=10)
             p.add_argument("--all", action="store_true", help="execute every plan")
+            p.add_argument(
+                "--feedback-rounds",
+                type=int,
+                default=0,
+                metavar="N",
+                help="adaptive re-optimization rounds fed by runtime "
+                "observations (0 = feedback off, the plain protocol)",
+            )
+            p.add_argument(
+                "--stats-store",
+                default=None,
+                metavar="PATH",
+                help="JSON statistics store: loaded if present (warm "
+                "start), saved back after the run",
+            )
         p.set_defaults(fn=fn)
     return parser
 

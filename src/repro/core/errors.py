@@ -36,3 +36,8 @@ class OptimizationError(ReproError):
 
 class ExecutionError(ReproError):
     """Raised by the execution engine for runtime failures."""
+
+
+class FeedbackError(ReproError):
+    """Raised by the adaptive feedback subsystem (corrupt statistics
+    stores, invalid round configurations)."""

@@ -56,7 +56,17 @@ class Operator:
     arity: int = 1
     is_kat: bool = False
 
+    #: Characters reserved by the plan-signature rendering
+    #: (:func:`repro.core.plan.signature_key`); banning them from names
+    #: keeps that rendering injective on plan structures.
+    _RESERVED_NAME_CHARS = frozenset("(),")
+
     def __init__(self, name: str) -> None:
+        if not name or self._RESERVED_NAME_CHARS & set(name):
+            raise SchemaError(
+                f"invalid operator name {name!r}: must be non-empty and "
+                "free of '(', ')' and ','"
+            )
         self.name = name
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -131,6 +131,26 @@ def signature(root: Node) -> tuple:
     return root.signature
 
 
+def signature_key(root: Node) -> str:
+    """Stable, human-readable string form of a plan signature.
+
+    Operator names cannot contain ``(``/``)``/``,`` (enforced at
+    :class:`~repro.core.operators.Operator` construction), so the
+    rendering is injective on signatures.  Used as the persistence key of
+    runtime observations: two
+    plans — across processes and across physically different executions —
+    share a key exactly when their logical signatures are equal.
+    """
+    return _encode_signature(root.signature)
+
+
+def _encode_signature(sig: tuple) -> str:
+    name = sig[0]
+    if len(sig) == 1:
+        return name
+    return f"{name}({','.join(_encode_signature(c) for c in sig[1:])})"
+
+
 def replace_subtree(root: Node, old: Node, new: Node) -> Node:
     """Return a copy of ``root`` with the subtree ``old`` replaced by ``new``.
 

@@ -127,12 +127,19 @@ class Engine:
         reuse_subtree_results: bool = False,
         streaming: bool = True,
         stream_batch_rows: int = 1024,
+        collector: "ObservationCollector | None" = None,
     ) -> None:
         self.params = params or CostParams()
         self.true_costs = true_costs or {}
         self.reuse_subtree_results = reuse_subtree_results
         self.streaming = streaming
         self.stream_batch_rows = max(1, stream_batch_rows)
+        # Optional runtime-statistics hook (the feedback subsystem's
+        # ObservationCollector): notified once per execute() with the plan
+        # and the finished report, covering every stage boundary — fused
+        # chains, breakers, and cache-replayed subtrees alike — in both
+        # streaming and materializing modes.
+        self.collector = collector
         self._subtree_cache: dict[
             PhysNode, tuple[Partitions, tuple[OpMetrics, ...]]
         ] = {}
@@ -154,7 +161,10 @@ class Engine:
         # the API boundary so callers that mutate returned records cannot
         # corrupt source data or cached results.
         records = [dict(r) for r in gather(parts)]
-        return ExecutionResult(records=records, report=report)
+        result = ExecutionResult(records=records, report=report)
+        if self.collector is not None:
+            self.collector.observe_execution(plan, report, self.true_costs)
+        return result
 
     # -- recursion -----------------------------------------------------------------
 

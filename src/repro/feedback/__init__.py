@@ -1,0 +1,46 @@
+"""Adaptive feedback: runtime statistics, learned hints, re-optimization.
+
+The counterpart to the paper's *static* opening of UDF black boxes: the
+engine already measures every operator's true cardinalities while
+executing — this subsystem closes the loop by collecting those
+measurements (:mod:`.observation`), aggregating them across runs with
+decay and JSON persistence (:mod:`.store`), preferring them over hinted
+defaults during estimation (:mod:`.estimator`), and driving an
+optimize -> execute -> learn -> re-optimize fixed-point loop
+(:mod:`.adaptive`).
+"""
+
+from .adaptive import (
+    AdaptiveOptimizer,
+    AdaptiveReport,
+    AdaptiveRound,
+    ExecutedRound,
+)
+from .estimator import FeedbackEstimator, QErrorReport, merge_hints, qerror, qerror_report
+from .observation import (
+    ExecutionObservation,
+    ObservationCollector,
+    OpObservation,
+    observe_plan,
+)
+from .store import NodeStats, PlanStats, SourceObservation, StatisticsStore
+
+__all__ = [
+    "AdaptiveOptimizer",
+    "AdaptiveReport",
+    "AdaptiveRound",
+    "ExecutedRound",
+    "ExecutionObservation",
+    "FeedbackEstimator",
+    "NodeStats",
+    "ObservationCollector",
+    "OpObservation",
+    "PlanStats",
+    "QErrorReport",
+    "SourceObservation",
+    "StatisticsStore",
+    "merge_hints",
+    "observe_plan",
+    "qerror",
+    "qerror_report",
+]

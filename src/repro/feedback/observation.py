@@ -1,0 +1,172 @@
+"""Runtime observations: what the engine actually saw per operator.
+
+The engine's :class:`~repro.engine.metrics.OpMetrics` already measure the
+true per-operator cardinalities, UDF call counts, and IO of every
+execution — and the seed system threw them away after reporting.  The
+:class:`ObservationCollector` turns each execution into a set of
+:class:`OpObservation` records keyed by the *logical* plan signature of
+each operator's node (:func:`repro.core.plan.signature_key`), so an
+observation made while executing one physical plan transfers to every
+physically different plan that contains the same logical sub-flow —
+across executions, optimizer rounds, and (via the JSON statistics store)
+processes.
+
+Only physical-plan-invariant quantities are used for learning:
+``rows_out`` and ``udf_calls`` are properties of the logical operator
+over its logical input (identical whether a join broadcast or
+repartitioned), whereas ``rows_in`` counts post-ship records and is
+recorded for diagnostics only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.operators import (
+    CoGroupOp,
+    CrossOp,
+    MapOp,
+    MatchOp,
+    ReduceOp,
+    Sink,
+    Source,
+)
+from ..core.plan import signature_key
+from ..engine.metrics import ExecutionReport
+from ..optimizer.physical import PhysNode
+
+#: Operator kinds whose ``udf_calls`` count key groups — for these, one
+#: observation also yields a distinct-key count.
+GROUPING_KINDS = frozenset({"reduce", "cogroup"})
+
+_KIND_OF = {
+    Source: "source",
+    Sink: "sink",
+    MapOp: "map",
+    ReduceOp: "reduce",
+    MatchOp: "match",
+    CrossOp: "cross",
+    CoGroupOp: "cogroup",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class OpObservation:
+    """One operator's measured behavior in one execution."""
+
+    key: str  # signature_key of the operator's logical node
+    op_name: str
+    kind: str  # "source" | "map" | "reduce" | "match" | "cross" | "cogroup"
+    rows_in: int
+    rows_out: int
+    udf_calls: int
+    cpu_per_call: float  # measured cost units per UDF call
+    disk_bytes: float  # scan volume for sources (learned widths)
+
+    @property
+    def selectivity(self) -> float | None:
+        """Observed records emitted per UDF call (None without calls)."""
+        if self.udf_calls <= 0:
+            return None
+        return self.rows_out / self.udf_calls
+
+    @property
+    def distinct_keys(self) -> int | None:
+        """Observed key-group count for grouping operators."""
+        if self.kind in GROUPING_KINDS:
+            return self.udf_calls
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionObservation:
+    """Everything observed while executing one physical plan."""
+
+    plan_key: str  # signature_key of the executed plan's logical body
+    seconds: float  # measured (simulated) runtime of the whole plan
+    ops: tuple[OpObservation, ...]
+
+
+def observe_plan(
+    plan: PhysNode,
+    report: ExecutionReport,
+    true_costs: dict[str, float] | None = None,
+) -> ExecutionObservation:
+    """Pair an execution report with the plan's logical structure.
+
+    Walks the physical plan once to map each (unique) operator name to
+    its logical node, then lifts every reported :class:`OpMetrics` into a
+    signature-keyed :class:`OpObservation`.  Works identically for
+    streaming and materializing executions and for cache-replayed
+    subtrees — the report is the single source of truth.
+    """
+    true_costs = true_costs or {}
+    logical = {}
+    stack = [plan]
+    while stack:
+        node = stack.pop()
+        logical[node.logical.op.name] = node.logical
+        stack.extend(node.children)
+    ops = []
+    for metrics in report.per_op:
+        node = logical.get(metrics.name)
+        if node is None:  # a metrics row for an op outside this plan
+            continue
+        kind = _KIND_OF.get(type(node.op))
+        if kind is None or kind == "sink":
+            continue
+        ops.append(
+            OpObservation(
+                key=signature_key(node),
+                op_name=metrics.name,
+                kind=kind,
+                rows_in=metrics.rows_in,
+                rows_out=metrics.rows_out,
+                udf_calls=metrics.udf_calls,
+                cpu_per_call=true_costs.get(metrics.name, 1.0),
+                disk_bytes=metrics.disk_bytes if kind == "source" else 0.0,
+            )
+        )
+    # The sink contributes no metrics; key the plan by its logical body
+    # (sink stripped) so optimizer-ranked bodies and executed plans agree.
+    body = plan.logical
+    if isinstance(body.op, Sink):
+        body = body.only_child
+    return ExecutionObservation(
+        plan_key=signature_key(body),
+        seconds=report.seconds,
+        ops=tuple(ops),
+    )
+
+
+@dataclass(slots=True)
+class ObservationCollector:
+    """Accumulates per-execution observations for the statistics store.
+
+    Attach to an engine (``Engine(collector=...)``); the engine calls
+    :meth:`observe_execution` once per ``execute()`` with the finished
+    report, covering both streaming and materializing modes.
+    """
+
+    executions: list[ExecutionObservation] = field(default_factory=list)
+
+    def observe_execution(
+        self,
+        plan: PhysNode,
+        report: ExecutionReport,
+        true_costs: dict[str, float] | None = None,
+    ) -> ExecutionObservation:
+        observation = observe_plan(plan, report, true_costs)
+        self.executions.append(observation)
+        return observation
+
+    def op_observations(self) -> dict[str, OpObservation]:
+        """Latest observation per logical-node signature key."""
+        out: dict[str, OpObservation] = {}
+        for execution in self.executions:
+            for op in execution.ops:
+                out[op.key] = op
+        return out
+
+    def clear(self) -> None:
+        self.executions.clear()

@@ -1,0 +1,354 @@
+"""The statistics store: aggregated runtime observations across runs.
+
+Aggregation model
+-----------------
+Every ingested execution bumps the store ``version`` (a logical clock —
+no wall time, so replays are deterministic).  Per-node statistics merge
+by exponential moving average with weight ``decay`` on the newest
+observation, so drifting data shifts the learned statistics while
+one-off outliers wash out; entries unseen for more than
+``staleness_horizon`` ingests are treated as stale and excluded from
+learned hints and overrides (they are kept in the store so a later
+sighting revives their history).
+
+What is learned
+---------------
+* per-signature node statistics (exact observed cardinalities for a
+  logical sub-flow, the strongest override),
+* per-operator-name :class:`~repro.optimizer.cardinality.Hints`
+  (selectivity, CPU cost per call, distinct keys) aggregated across all
+  positions the operator was observed in — these generalize to plan
+  alternatives that were never executed,
+* per-source row counts and scan volumes
+  (:class:`~repro.core.catalog.SourceStats` overrides),
+* per-plan measured runtimes, which let the adaptive driver prefer a
+  plan it has *measured* to be fastest over one it merely estimates.
+
+The store round-trips through JSON (:meth:`save` / :meth:`load`):
+persist -> reload -> re-optimize is bit-deterministic.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..core.catalog import Catalog, SourceStats
+from ..core.errors import FeedbackError
+from ..optimizer.cardinality import Hints
+from .observation import GROUPING_KINDS, ExecutionObservation
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(slots=True)
+class NodeStats:
+    """Aggregated observations of one logical sub-flow (signature key)."""
+
+    key: str
+    op_name: str
+    kind: str
+    rows_in: float = 0.0
+    rows_out: float = 0.0
+    udf_calls: float = 0.0
+    cpu_per_call: float = 1.0
+    runs: int = 0
+    last_seen: int = 0
+
+    @property
+    def selectivity(self) -> float | None:
+        if self.udf_calls <= 0:
+            return None
+        return self.rows_out / self.udf_calls
+
+    @property
+    def distinct_keys(self) -> int | None:
+        if self.kind in GROUPING_KINDS and self.udf_calls > 0:
+            return max(1, round(self.udf_calls))
+        return None
+
+
+@dataclass(slots=True)
+class SourceObservation:
+    """Aggregated scan statistics of one data source."""
+
+    name: str
+    rows: float = 0.0
+    scan_bytes: float = 0.0
+    runs: int = 0
+    last_seen: int = 0
+
+    @property
+    def avg_record_bytes(self) -> float | None:
+        if self.rows <= 0:
+            return None
+        return self.scan_bytes / self.rows
+
+
+@dataclass(slots=True)
+class PlanStats:
+    """Measured runtime of one logical plan body."""
+
+    key: str
+    seconds: float = 0.0
+    runs: int = 0
+    last_seen: int = 0
+
+
+def _ema(old: float, new: float, weight: float, first: bool) -> float:
+    if first:
+        return new
+    return weight * new + (1.0 - weight) * old
+
+
+@dataclass(slots=True)
+class StatisticsStore:
+    """In-memory + JSON-persisted aggregate of runtime observations."""
+
+    decay: float = 0.5  # EMA weight of the newest observation
+    staleness_horizon: int | None = None  # ingests before an entry goes stale
+    version: int = 0  # logical clock, bumped per ingested execution
+    nodes: dict[str, NodeStats] = field(default_factory=dict)
+    sources: dict[str, SourceObservation] = field(default_factory=dict)
+    plans: dict[str, PlanStats] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.decay <= 1.0):
+            raise FeedbackError(f"decay must be in (0, 1], got {self.decay}")
+        if self.staleness_horizon is not None and self.staleness_horizon < 0:
+            raise FeedbackError(
+                "staleness_horizon must be None or >= 0, got "
+                f"{self.staleness_horizon}"
+            )
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest(self, execution: ExecutionObservation) -> None:
+        """Fold one execution's observations into the aggregates."""
+        self.version += 1
+        w = self.decay
+        for obs in execution.ops:
+            if obs.kind == "source":
+                src = self.sources.get(obs.op_name)
+                if src is None:
+                    src = SourceObservation(name=obs.op_name)
+                    self.sources[obs.op_name] = src
+                first = src.runs == 0
+                src.rows = _ema(src.rows, float(obs.rows_out), w, first)
+                src.scan_bytes = _ema(src.scan_bytes, obs.disk_bytes, w, first)
+                src.runs += 1
+                src.last_seen = self.version
+                continue
+            node = self.nodes.get(obs.key)
+            if node is None:
+                node = NodeStats(key=obs.key, op_name=obs.op_name, kind=obs.kind)
+                self.nodes[obs.key] = node
+            first = node.runs == 0
+            node.rows_in = _ema(node.rows_in, float(obs.rows_in), w, first)
+            node.rows_out = _ema(node.rows_out, float(obs.rows_out), w, first)
+            node.udf_calls = _ema(node.udf_calls, float(obs.udf_calls), w, first)
+            node.cpu_per_call = _ema(node.cpu_per_call, obs.cpu_per_call, w, first)
+            node.runs += 1
+            node.last_seen = self.version
+        plan = self.plans.get(execution.plan_key)
+        if plan is None:
+            plan = PlanStats(key=execution.plan_key)
+            self.plans[execution.plan_key] = plan
+        first = plan.runs == 0
+        plan.seconds = _ema(plan.seconds, execution.seconds, w, first)
+        plan.runs += 1
+        plan.last_seen = self.version
+
+    # -- staleness ---------------------------------------------------------
+
+    def _fresh(self, last_seen: int) -> bool:
+        if self.staleness_horizon is None:
+            return True
+        return (self.version - last_seen) <= self.staleness_horizon
+
+    # -- compatibility -----------------------------------------------------
+
+    def check_compatible(self, catalog: Catalog) -> None:
+        """Fail loudly when the store was learned on different data.
+
+        Store keys are pure logical signatures, identical across datagen
+        scales — warm-starting against rescaled or regenerated sources
+        would silently apply wrong cardinalities and stale measured
+        runtimes.  The observed per-source row counts act as the data
+        fingerprint: any source known to both the store and the catalog
+        must match exactly (observations on unchanged data are exact,
+        EMA or not).  Sources only one side knows are ignored, so stores
+        may accumulate several workloads.
+        """
+        for name, observed in self.sources.items():
+            if not self._fresh(observed.last_seen) or observed.runs == 0:
+                continue
+            if not catalog.has_source(name):
+                continue
+            expected = catalog.stats(name).row_count
+            if round(observed.rows) != expected:
+                raise FeedbackError(
+                    f"statistics store observed {round(observed.rows)} rows "
+                    f"for source {name!r} but the catalog reports {expected}: "
+                    "the store was learned on different data (other scale or "
+                    "seed) — use a fresh store path"
+                )
+
+    # -- learned views -----------------------------------------------------
+
+    def node_stats(self, key: str) -> NodeStats | None:
+        """Fresh per-signature statistics, or None if unknown/stale."""
+        node = self.nodes.get(key)
+        if node is None or not self._fresh(node.last_seen):
+            return None
+        return node
+
+    def plan_seconds(self, key: str) -> float | None:
+        """Fresh measured runtime of a plan body, or None."""
+        plan = self.plans.get(key)
+        if plan is None or not self._fresh(plan.last_seen):
+            return None
+        return plan.seconds
+
+    def learned_hints(self) -> dict[str, Hints]:
+        """Per-operator hints aggregated across every observed position.
+
+        Selectivity is the ratio of run-weighted emitted rows to UDF
+        calls (a per-call average, exactly the paper's "Average Number of
+        Records Emitted per UDF Call" — measured instead of guessed);
+        distinct keys average the observed group counts of grouping
+        operators.  Sorted by operator name for deterministic output.
+        """
+        rows: dict[str, float] = {}
+        calls: dict[str, float] = {}
+        cpu: dict[str, float] = {}
+        keys: dict[str, float] = {}
+        key_runs: dict[str, float] = {}
+        runs: dict[str, float] = {}
+        for node in self.nodes.values():
+            if not self._fresh(node.last_seen):
+                continue
+            name = node.op_name
+            weight = float(node.runs)
+            rows[name] = rows.get(name, 0.0) + weight * node.rows_out
+            calls[name] = calls.get(name, 0.0) + weight * node.udf_calls
+            cpu[name] = cpu.get(name, 0.0) + weight * node.cpu_per_call
+            runs[name] = runs.get(name, 0.0) + weight
+            dk = node.distinct_keys
+            if dk is not None:
+                keys[name] = keys.get(name, 0.0) + weight * dk
+                key_runs[name] = key_runs.get(name, 0.0) + weight
+        out: dict[str, Hints] = {}
+        for name in sorted(runs):
+            selectivity = rows[name] / calls[name] if calls[name] > 0 else None
+            distinct = (
+                max(1, round(keys[name] / key_runs[name]))
+                if key_runs.get(name)
+                else None
+            )
+            out[name] = Hints(
+                selectivity=selectivity,
+                cpu_per_call=cpu[name] / runs[name],
+                distinct_keys=distinct,
+            )
+        return out
+
+    def source_overrides(self) -> dict[str, SourceStats]:
+        """Observed per-source row counts as catalog-stat overrides."""
+        out: dict[str, SourceStats] = {}
+        for name in sorted(self.sources):
+            src = self.sources[name]
+            if not self._fresh(src.last_seen) or src.runs == 0:
+                continue
+            out[name] = SourceStats(row_count=max(0, round(src.rows)))
+        return out
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "format": _FORMAT_VERSION,
+            "decay": self.decay,
+            "staleness_horizon": self.staleness_horizon,
+            "version": self.version,
+            "nodes": {
+                k: {
+                    "op_name": n.op_name,
+                    "kind": n.kind,
+                    "rows_in": n.rows_in,
+                    "rows_out": n.rows_out,
+                    "udf_calls": n.udf_calls,
+                    "cpu_per_call": n.cpu_per_call,
+                    "runs": n.runs,
+                    "last_seen": n.last_seen,
+                }
+                for k, n in sorted(self.nodes.items())
+            },
+            "sources": {
+                k: {
+                    "rows": s.rows,
+                    "scan_bytes": s.scan_bytes,
+                    "runs": s.runs,
+                    "last_seen": s.last_seen,
+                }
+                for k, s in sorted(self.sources.items())
+            },
+            "plans": {
+                k: {
+                    "seconds": p.seconds,
+                    "runs": p.runs,
+                    "last_seen": p.last_seen,
+                }
+                for k, p in sorted(self.plans.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "StatisticsStore":
+        try:
+            if payload["format"] != _FORMAT_VERSION:
+                raise FeedbackError(
+                    f"unsupported statistics-store format {payload['format']!r}"
+                )
+            store = cls(
+                decay=payload["decay"],
+                staleness_horizon=payload["staleness_horizon"],
+                version=payload["version"],
+            )
+            for key, n in payload["nodes"].items():
+                store.nodes[key] = NodeStats(key=key, **n)
+            for name, s in payload["sources"].items():
+                store.sources[name] = SourceObservation(name=name, **s)
+            for key, p in payload["plans"].items():
+                store.plans[key] = PlanStats(key=key, **p)
+        except (KeyError, TypeError) as exc:
+            raise FeedbackError(
+                f"malformed statistics-store payload: {exc!r}"
+            ) from None
+        return store
+
+    def save(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "StatisticsStore":
+        text = Path(path).read_text()
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FeedbackError(
+                f"statistics store {str(path)!r} is not valid JSON: {exc}"
+            ) from None
+        if not isinstance(payload, dict):
+            raise FeedbackError(
+                f"statistics store {str(path)!r} must hold a JSON object"
+            )
+        return cls.from_dict(payload)
+
+    @classmethod
+    def open(cls, path: str | Path, **kwargs) -> "StatisticsStore":
+        """Load an existing store, or create a fresh one for the path."""
+        if Path(path).exists():
+            return cls.load(path)
+        return cls(**kwargs)

@@ -77,8 +77,23 @@ class CardinalityEstimator:
         self._cache: dict[Node, EstStats] = {}
         self._width_cache: dict[frozenset, float] = {}
 
+    #: Shared default returned for operators without registered hints —
+    #: the paper-default behavior (selectivity from emit bounds, unit CPU
+    #: cost, distinct keys from catalog statistics).
+    DEFAULT_HINTS = Hints()
+
     def hints_for(self, op_name: str) -> Hints:
-        return self.hints.get(op_name, Hints())
+        """Hints for one operator; unknown names get :data:`DEFAULT_HINTS`.
+
+        This lookup never raises: an operator the user did not hint falls
+        back to the paper defaults rather than leaking a ``KeyError``.
+        """
+        return self.hints.get(op_name, self.DEFAULT_HINTS)
+
+    def source_rows(self, op: Source) -> float:
+        """Row count of a source scan; the feedback estimator overrides
+        this with observed cardinalities."""
+        return float(self.catalog.stats(op.name).row_count)
 
     def _width(self, node: Node) -> float:
         attrs = self.ctx.out_attrs(node)
@@ -111,7 +126,7 @@ class CardinalityEstimator:
     def _estimate(self, node: Node) -> EstStats:
         op = node.op
         if isinstance(op, Source):
-            rows = float(self.catalog.stats(op.name).row_count)
+            rows = self.source_rows(op)
             return EstStats(rows, self._width(node), 0.0)
         if isinstance(op, Sink):
             child = self.estimate(node.only_child)

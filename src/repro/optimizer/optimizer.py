@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 from ..core.catalog import Catalog
 from ..core.plan import Node, body as plan_body, signature
@@ -95,6 +96,13 @@ class Optimizer:
     a subtree occurring in hundreds of alternatives is planned once.
     ``reuse_memo=False`` re-plans each alternative from scratch (the
     reference path; results are identical, just slower).
+
+    ``estimator_factory`` is the cardinality-estimation injection point:
+    it is called once per :meth:`optimize` with ``(ctx, hints)`` and must
+    return a :class:`CardinalityEstimator` (or subclass — the feedback
+    subsystem injects a learned-statistics estimator here).  The default
+    constructs a plain :class:`CardinalityEstimator`; with no factory the
+    optimization pipeline is bit-identical to the feedback-free seed.
     """
 
     def __init__(
@@ -104,6 +112,10 @@ class Optimizer:
         mode: AnnotationMode = AnnotationMode.SCA,
         params: CostParams | None = None,
         reuse_memo: bool = True,
+        estimator_factory: Callable[
+            [PlanContext, dict[str, Hints]], CardinalityEstimator
+        ]
+        | None = None,
     ) -> None:
         self.catalog = catalog
         self.hints = hints or {}
@@ -111,13 +123,18 @@ class Optimizer:
         self.params = params or CostParams()
         self.ctx = PlanContext(catalog, mode)
         self.reuse_memo = reuse_memo
+        self.estimator_factory = estimator_factory or CardinalityEstimator
+        #: Estimator used by the most recent :meth:`optimize` call — the
+        #: feedback loop reads its cached estimates for q-error reporting.
+        self.last_estimator: CardinalityEstimator | None = None
 
     def optimize(self, plan: Node) -> OptimizationResult:
         flow = plan_body(plan)
         t0 = time.perf_counter()
         alternatives = enumerate_flows(flow, self.ctx)
         t1 = time.perf_counter()
-        estimator = CardinalityEstimator(self.ctx, self.hints)
+        estimator = self.estimator_factory(self.ctx, self.hints)
+        self.last_estimator = estimator
         shared = (
             PhysicalOptimizer(self.ctx, estimator, self.params)
             if self.reuse_memo

@@ -41,6 +41,16 @@ class TestConstruction:
         with pytest.raises(PlanError):
             MatchOp("m", binary_udf(concat_udf), FieldMap(AB), FieldMap(CD), (0, 1), (0,))
 
+    @pytest.mark.parametrize("name", ["", "a(b", "a)b", "a,b"])
+    def test_reserved_name_characters_rejected(self, name):
+        """'(', ')' and ',' are reserved by the signature-key rendering;
+        allowing them would break its injectivity (and with it the
+        feedback statistics store's keying)."""
+        from repro.core.errors import SchemaError
+
+        with pytest.raises(SchemaError, match="invalid operator name"):
+            MapOp(name, map_udf(identity_udf), FieldMap(AB))
+
 
 class TestBinding:
     def test_manual_reads_bound_to_attrs(self):

@@ -27,6 +27,7 @@ from repro.core import (
 )
 from repro.datagen import ClickScale, CorpusScale, TpchScale
 from repro.engine import Engine
+from repro.feedback import ObservationCollector
 from repro.optimizer import (
     CardinalityEstimator,
     CostParams,
@@ -95,6 +96,46 @@ class TestStreamingParity:
         want = reference.execute(picks[0].physical, workload.data)
         assert got.records == want.records
         assert got.report.per_op == want.report.per_op
+
+
+class TestObservationParity:
+    @pytest.mark.parametrize("name", sorted(BUILDERS))
+    def test_collected_observations_bit_identical_across_engine_modes(
+        self, optimized, name
+    ):
+        """The feedback subsystem's per-op observations — rows-in,
+        rows-out, UDF calls, everything — must not depend on whether the
+        engine streamed or materialized."""
+        workload, picks = optimized[name]
+        streaming_collector = ObservationCollector()
+        materializing_collector = ObservationCollector()
+        streaming = Engine(
+            workload.params, workload.true_costs, collector=streaming_collector
+        )
+        materializing = Engine(
+            workload.params,
+            workload.true_costs,
+            streaming=False,
+            collector=materializing_collector,
+        )
+        for plan in picks:
+            streaming.execute(plan.physical, workload.data)
+            materializing.execute(plan.physical, workload.data)
+        assert streaming_collector.executions  # the hook actually fired
+        assert streaming_collector.executions == materializing_collector.executions
+        # Field-level check for the headline quantities, exact equality.
+        for got, want in zip(
+            streaming_collector.executions, materializing_collector.executions
+        ):
+            assert got.plan_key == want.plan_key
+            assert got.seconds == want.seconds
+            for op_got, op_want in zip(got.ops, want.ops):
+                assert (op_got.key, op_got.rows_in, op_got.rows_out) == (
+                    op_want.key,
+                    op_want.rows_in,
+                    op_want.rows_out,
+                )
+                assert op_got.udf_calls == op_want.udf_calls
 
 
 class TestBreakerBoundaryCache:

@@ -1,0 +1,61 @@
+"""Hardened lookups: unknown names answer clearly, never with a bare
+``KeyError`` leaking out of a dict access."""
+
+import pytest
+
+from repro.core import AnnotationMode, Catalog, SourceStats
+from repro.core.errors import SchemaError
+from repro.optimizer import CardinalityEstimator, Hints, PlanContext
+
+
+@pytest.fixture()
+def catalog():
+    c = Catalog()
+    c.add_source("orders", SourceStats(row_count=1000))
+    return c
+
+
+class TestCatalogStats:
+    def test_known_source(self, catalog):
+        assert catalog.stats("orders").row_count == 1000
+
+    def test_unknown_source_raises_schema_error_not_keyerror(self, catalog):
+        with pytest.raises(SchemaError, match="unknown source 'nope'"):
+            catalog.stats("nope")
+        # Specifically not a bare KeyError — SchemaError does not subclass it.
+        try:
+            catalog.stats("nope")
+        except KeyError:  # pragma: no cover - the failure this test pins
+            pytest.fail("Catalog.stats leaked a bare KeyError")
+        except SchemaError:
+            pass
+
+    def test_has_source_is_the_non_throwing_probe(self, catalog):
+        assert catalog.has_source("orders")
+        assert not catalog.has_source("nope")
+
+    def test_duplicate_registration_rejected(self, catalog):
+        with pytest.raises(SchemaError, match="already registered"):
+            catalog.add_source("orders", SourceStats(row_count=1))
+
+
+class TestHintsFor:
+    def test_unknown_op_returns_paper_defaults(self, catalog):
+        ctx = PlanContext(catalog, AnnotationMode.SCA)
+        estimator = CardinalityEstimator(ctx, {"known": Hints(selectivity=0.5)})
+        hints = estimator.hints_for("never_registered")
+        assert hints is CardinalityEstimator.DEFAULT_HINTS
+        assert hints.selectivity is None
+        assert hints.cpu_per_call == 1.0
+        assert hints.distinct_keys is None
+
+    def test_known_op_returns_registered_hints(self, catalog):
+        ctx = PlanContext(catalog, AnnotationMode.SCA)
+        registered = Hints(selectivity=0.5, cpu_per_call=7.0)
+        estimator = CardinalityEstimator(ctx, {"known": registered})
+        assert estimator.hints_for("known") is registered
+
+    def test_no_hints_dict_at_all(self, catalog):
+        ctx = PlanContext(catalog, AnnotationMode.SCA)
+        estimator = CardinalityEstimator(ctx)
+        assert estimator.hints_for("anything") is CardinalityEstimator.DEFAULT_HINTS

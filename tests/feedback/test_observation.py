@@ -1,0 +1,102 @@
+"""ObservationCollector semantics: signature keying, kinds, derived stats."""
+
+from repro.core import AnnotationMode
+from repro.core.plan import body, iter_nodes, signature_key
+from repro.datagen import TpchScale
+from repro.engine import Engine
+from repro.feedback import ObservationCollector
+from repro.optimizer import Optimizer
+from repro.workloads import build_q15
+
+SMALL_TPCH = TpchScale(suppliers=40, customers=80, orders=400)
+
+
+def _setup():
+    workload = build_q15(SMALL_TPCH)
+    result = Optimizer(
+        workload.catalog, workload.hints, AnnotationMode.SCA, workload.params
+    ).optimize(workload.plan)
+    return workload, result
+
+
+class TestSignatureKeys:
+    def test_key_is_injective_rendering_of_the_signature(self):
+        workload, result = _setup()
+        flow = body(workload.plan)
+        keys = {signature_key(n) for n in iter_nodes(flow)}
+        assert len(keys) == len(list(iter_nodes(flow)))
+        root_key = signature_key(flow)
+        assert "join_s_rev(" in root_key and "lineitem" in root_key
+
+    def test_observation_keys_match_logical_nodes(self):
+        workload, result = _setup()
+        collector = ObservationCollector()
+        engine = Engine(workload.params, workload.true_costs, collector=collector)
+        engine.execute(result.best.physical, workload.data)
+        (execution,) = collector.executions
+        want = {
+            signature_key(n)
+            for n in iter_nodes(result.best.body)
+        }
+        got = {op.key for op in execution.ops}
+        # Every observed op keys to a node of the executed body (the sink
+        # contributes no observation).
+        assert got <= want
+        assert execution.plan_key == signature_key(result.best.body)
+
+    def test_same_logical_subflow_same_key_across_physical_plans(self):
+        """Observations transfer: physically different plans of the same
+        logical flow produce identical keys and identical rows_out."""
+        workload, result = _setup()
+        collector = ObservationCollector()
+        engine = Engine(
+            workload.params,
+            workload.true_costs,
+            collector=collector,
+        )
+        for plan in result.ranked:
+            engine.execute(plan.physical, workload.data)
+        by_key = {}
+        for execution in collector.executions:
+            for op in execution.ops:
+                by_key.setdefault(op.key, set()).add(
+                    (op.rows_out, op.udf_calls)
+                )
+        # rows_out and udf_calls are physical-plan-invariant per key.
+        for key, values in by_key.items():
+            assert len(values) == 1, key
+
+
+class TestDerivedQuantities:
+    def test_kinds_selectivity_and_distinct_keys(self):
+        workload, result = _setup()
+        collector = ObservationCollector()
+        engine = Engine(workload.params, workload.true_costs, collector=collector)
+        engine.execute(result.best.physical, workload.data)
+        (execution,) = collector.executions
+        by_name = {op.op_name: op for op in execution.ops}
+        sigma = by_name["sigma_shipdate_q15"]
+        assert sigma.kind == "map"
+        assert sigma.selectivity == sigma.rows_out / sigma.udf_calls
+        assert sigma.distinct_keys is None  # maps have no key groups
+        gamma = by_name["gamma_supplier_revenue"]
+        assert gamma.kind == "reduce"
+        assert gamma.distinct_keys == gamma.udf_calls  # one call per group
+        scan = by_name["lineitem"]
+        assert scan.kind == "source"
+        assert scan.disk_bytes > 0  # learned scan volume for width stats
+        assert scan.selectivity is None  # scans make no UDF calls
+
+    def test_latest_observation_wins_per_key(self):
+        workload, result = _setup()
+        collector = ObservationCollector()
+        engine = Engine(workload.params, workload.true_costs, collector=collector)
+        engine.execute(result.best.physical, workload.data)
+        engine.execute(result.best.physical, workload.data)
+        assert len(collector.executions) == 2
+        latest = collector.op_observations()
+        assert latest  # deduplicated by signature key
+        for op in collector.executions[-1].ops:
+            assert latest[op.key] == op
+        collector.clear()
+        assert not collector.executions

@@ -44,6 +44,46 @@ def test_experiment(capsys):
     assert "runtime spread" in out
 
 
+def test_experiment_with_feedback_rounds(capsys, tmp_path):
+    store = tmp_path / "stats.json"
+    assert (
+        main(
+            [
+                "experiment",
+                "tpch_q15",
+                "--picks",
+                "3",
+                "--feedback-rounds",
+                "1",
+                "--stats-store",
+                str(store),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "adaptive optimization — tpch_q15" in out
+    assert "round 0:" in out and "round 1:" in out
+    assert "q-error median" in out
+    assert store.exists()  # the store persisted for a warm start
+    # Warm start: the saved store is accepted on a second run.
+    assert (
+        main(
+            [
+                "experiment",
+                "tpch_q15",
+                "--picks",
+                "3",
+                "--stats-store",
+                str(store),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "round 0:" in out
+
+
 def test_unknown_workload_rejected():
     with pytest.raises(SystemExit):
         main(["analyze", "nope"])
