@@ -70,6 +70,7 @@ def run_experiment(
     execute_all: bool = False,
     feedback_rounds: int = 0,
     stats_store: StatisticsStore | str | Path | None = None,
+    jobs: int = 1,
 ) -> ExperimentOutcome:
     """Optimize a workload, execute rank-picked plans, collect the outcome.
 
@@ -80,14 +81,16 @@ def run_experiment(
     live :class:`StatisticsStore` or a JSON path — a path is loaded if it
     exists (warm start) and saved back after the run.  With
     ``feedback_rounds=0`` and no store this is exactly the feedback-free
-    protocol — the code path below is untouched.
+    protocol — the code path below is untouched.  ``jobs > 1`` shards
+    plan costing across forked worker processes (bit-identical results).
     """
     if feedback_rounds > 0 or stats_store is not None:
         return _run_feedback_experiment(
-            workload, picks, mode, params, execute_all, feedback_rounds, stats_store
+            workload, picks, mode, params, execute_all, feedback_rounds,
+            stats_store, jobs,
         )
     params = params or workload.params
-    optimizer = Optimizer(workload.catalog, workload.hints, mode, params)
+    optimizer = Optimizer(workload.catalog, workload.hints, mode, params, jobs=jobs)
     result = optimizer.optimize(workload.plan)
     # Rank-picked plans share most of their physical subtrees; reuse
     # their deterministic execution results across the picks.
@@ -124,6 +127,7 @@ def _run_feedback_experiment(
     execute_all: bool,
     feedback_rounds: int,
     stats_store: StatisticsStore | str | Path | None,
+    jobs: int = 1,
 ) -> ExperimentOutcome:
     """The Section 7.3 protocol driven through the adaptive feedback loop."""
     params = params or workload.params
@@ -136,7 +140,7 @@ def _run_feedback_experiment(
     else:
         store = StatisticsStore()
     adaptive = AdaptiveOptimizer(
-        workload, store=store, mode=mode, params=params, picks=picks
+        workload, store=store, mode=mode, params=params, picks=picks, jobs=jobs
     )
     report = adaptive.run(feedback_rounds)
     final = report.final

@@ -8,6 +8,7 @@ Usage::
     python -m repro experiment textmining --picks 10
     python -m repro experiment tpch_q7 --scale 10
     python -m repro experiment clickstream --feedback-rounds 2 --stats-store stats.json
+    python -m repro experiment tpch_q7 --jobs 4
 """
 
 from __future__ import annotations
@@ -86,6 +87,7 @@ def cmd_experiment(args) -> int:
         execute_all=args.all,
         feedback_rounds=args.feedback_rounds,
         stats_store=args.stats_store,
+        jobs=args.jobs,
     )
     print(render_figure(outcome, f"Experiment — {workload.name}"))
     if outcome.feedback is not None:
@@ -139,6 +141,14 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="PATH",
                 help="JSON statistics store: loaded if present (warm "
                 "start), saved back after the run",
+            )
+            p.add_argument(
+                "--jobs",
+                type=int,
+                default=1,
+                metavar="N",
+                help="worker processes for plan costing (fork-based; "
+                "results are bit-identical to --jobs 1)",
             )
         p.set_defaults(fn=fn)
     return parser

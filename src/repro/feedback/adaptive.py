@@ -103,7 +103,19 @@ class AdaptiveReport:
 
 
 class AdaptiveOptimizer:
-    """Drives the optimize -> execute -> observe -> re-optimize loop."""
+    """Drives the optimize -> execute -> observe -> re-optimize loop.
+
+    Re-optimization is *incremental*: the first round's optimization
+    leaves its :class:`~repro.optimizer.memo.Memo` — physical options,
+    estimates, and the enumerated closure — in place, and every later
+    round first invalidates only the dirty spine above the operators
+    whose learned statistics actually changed (the diff of the store's
+    :meth:`~repro.feedback.store.StatisticsStore.estimator_view` across
+    the round's ingests), then re-costs just those entries.  Results are
+    bit-identical to rebuilding from scratch each round; a converged
+    round (no view change) re-costs nothing.  ``jobs > 1`` additionally
+    shards each round's costing across forked worker processes.
+    """
 
     def __init__(
         self,
@@ -113,6 +125,7 @@ class AdaptiveOptimizer:
         params: CostParams | None = None,
         picks: int = 5,
         streaming: bool = True,
+        jobs: int = 1,
     ) -> None:
         self.workload = workload
         self.store = store if store is not None else StatisticsStore()
@@ -136,7 +149,12 @@ class AdaptiveOptimizer:
             mode,
             self.params,
             estimator_factory=self._make_estimator,
+            jobs=jobs,
         )
+        # Carried across rounds; invalidated along the dirty spine of the
+        # estimator-view diff before each re-optimization.
+        self.memo = self.optimizer.new_memo()
+        self._view = self.store.estimator_view()
 
     def _make_estimator(
         self, ctx: PlanContext, hints: dict[str, Hints]
@@ -168,7 +186,7 @@ class AdaptiveOptimizer:
         return report
 
     def _run_round(self, index: int) -> AdaptiveRound:
-        optimization = self.optimizer.optimize(self.workload.plan)
+        optimization = self.optimizer.optimize(self.workload.plan, memo=self.memo)
         estimator_pick = optimization.best
         # Deployment decision uses what the store knew when this round
         # optimized — the round's own executions inform the *next* round.
@@ -204,6 +222,20 @@ class AdaptiveOptimizer:
         for execution in self.collector.executions:
             self.store.ingest(execution)
         self.collector.clear()
+
+        # Dirty-spine invalidation for the next round: evict exactly the
+        # memo entries whose subtree contains an operator whose learned
+        # view this round's ingests changed.  Everything else — and the
+        # enumerated closure — is reused verbatim by the next optimize.
+        view = self.store.estimator_view()
+        changed = {
+            name
+            for name in view.keys() | self._view.keys()
+            if view.get(name) != self._view.get(name)
+        }
+        self._view = view
+        if changed:
+            self.memo.invalidate(changed)
 
         pick_seconds = seen[_plan_key(pick.body)].seconds
         return AdaptiveRound(

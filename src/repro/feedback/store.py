@@ -197,6 +197,37 @@ class StatisticsStore:
 
     # -- learned views -----------------------------------------------------
 
+    def estimator_view(self) -> dict[str, tuple]:
+        """Per-operator-name fingerprint of everything an estimator reads.
+
+        For each name this folds in the learned :class:`Hints` (all
+        fields — selectivity and distinct keys shape estimates, CPU cost
+        shapes costs), the fresh per-signature observations *rooted* at
+        the name (the estimator pins exactly the node whose signature
+        matches, and every entry above that node contains its root
+        operator), and the source row-count override.  Because a node's
+        estimate and cost depend only on the operators inside its
+        subtree, two store states whose views agree on a name produce
+        bit-identical results for every sub-plan not containing that
+        name — so the *diff* of this view between feedback rounds is
+        exactly the dirty set for
+        :meth:`~repro.optimizer.memo.Memo.invalidate`.  Staleness
+        transitions are captured too: an entry crossing the horizon
+        drops out of the view and flags its name.
+        """
+        view: dict[str, list] = {}
+        for name, hint in self.learned_hints().items():
+            view.setdefault(name, []).append(("hints", hint))
+        for name, stats in self.source_overrides().items():
+            view.setdefault(name, []).append(("source", stats.row_count))
+        for key in sorted(self.nodes):
+            node = self.node_stats(key)
+            if node is not None:
+                view.setdefault(node.op_name, []).append(
+                    ("node", key, node.rows_out, node.udf_calls)
+                )
+        return {name: tuple(entries) for name, entries in view.items()}
+
     def node_stats(self, key: str) -> NodeStats | None:
         """Fresh per-signature statistics, or None if unknown/stale."""
         node = self.nodes.get(key)

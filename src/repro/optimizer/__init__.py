@@ -17,15 +17,24 @@ lookup.  Three layers exploit this:
   interned node and record widths per output-attribute set, so the
   estimator does no repeated work across alternatives.
 * **Physical optimization** (:mod:`.physical`): a
-  :class:`.physical.PhysicalOptimizer` holds a Volcano-style memo table
-  (interned sub-plan -> pruned physical options).
-  :class:`.optimizer.Optimizer` constructs it once and reuses it across
-  every enumerated alternative, so shared subtrees are physically
-  optimized exactly once; binary operators additionally prune dominated
-  child combinations with an exact branch-and-bound cut.
+  :class:`.physical.PhysicalOptimizer` costs against a first-class
+  Volcano :class:`.memo.Memo` (interned sub-plan -> pruned physical
+  options, plus memo-scoped estimator caches and the enumerated
+  closure).  :class:`.optimizer.Optimizer` constructs one per call and
+  reuses it across every enumerated alternative, so shared subtrees are
+  physically optimized exactly once; binary operators additionally prune
+  dominated child combinations with an exact branch-and-bound cut.
   ``Optimizer(reuse_memo=False)`` re-plans each alternative from
   scratch; results are identical by construction (see
   ``tests/optimizer/test_memoization.py``).
+* **Incremental re-costing** (:mod:`.memo`): an explicit memo passed to
+  ``Optimizer.optimize(memo=...)`` survives across calls and feedback
+  rounds; ``Memo.invalidate(changed_ops)`` evicts only the dirty spine
+  above operators whose hints or learned statistics changed, and
+  ``Optimizer.reoptimize`` re-ranks bit-identically to a full rebuild.
+* **Parallel costing** (:mod:`.parallel`): ``Optimizer(jobs=N)`` shards
+  the alternative list across forked workers with per-worker memos that
+  are merged back into the shared one.
 """
 
 from .cardinality import CardinalityEstimator, EstStats, Hints
@@ -37,6 +46,7 @@ from .enumeration import (
     enum_alternatives_chain,
     enumerate_flows,
 )
+from .memo import Memo
 from .optimizer import OptimizationResult, Optimizer, RankedPlan, optimize
 from .physical import (
     LocalStrategy,
@@ -59,6 +69,7 @@ __all__ = [
     "EstStats",
     "Hints",
     "LocalStrategy",
+    "Memo",
     "OptimizationResult",
     "Optimizer",
     "PhysNode",

@@ -73,9 +73,27 @@ class CardinalityEstimator:
         self.catalog = ctx.catalog
         self.hints = hints or {}
         # Keyed on interned nodes: an identity lookup, shared across every
-        # alternative that contains the same sub-plan.
+        # alternative that contains the same sub-plan.  A Memo can swap
+        # these for its own dicts (:meth:`use_caches`) to make estimates
+        # memo-scoped, so dirty-spine invalidation reaches them.
         self._cache: dict[Node, EstStats] = {}
         self._width_cache: dict[frozenset, float] = {}
+
+    def use_caches(
+        self,
+        cache: dict[Node, EstStats],
+        width_cache: dict[frozenset, float],
+    ) -> None:
+        """Adopt externally owned caches (the Memo's).
+
+        Entries already present are trusted verbatim: an estimate depends
+        only on the operators inside its node's subtree, so a memo whose
+        stale entries were invalidated hands back exactly the values this
+        estimator would recompute (pinned by the invalidation parity
+        tests).
+        """
+        self._cache = cache
+        self._width_cache = width_cache
 
     #: Shared default returned for operators without registered hints —
     #: the paper-default behavior (selectivity from emit bounds, unit CPU

@@ -41,6 +41,7 @@ class PlanContext:
         self._unique_cache: dict[Node, frozenset[frozenset[Attribute]]] = {}
         self._preserve_cache: dict[Node, bool] = {}
         self._props_cache: dict[Operator, BoundProps] = {}
+        self._op_names_cache: dict[Node, frozenset[str]] = {}
         # Memoized outcomes of the pairwise swap-legality checks; keys mix
         # operators and interned plan nodes, both O(1) to hash.
         self.rule_cache: dict[tuple, bool] = {}
@@ -56,6 +57,26 @@ class PlanContext:
         result = op.bound_props(self.mode)
         self._props_cache[op] = result
         return result
+
+    # -- subtree operator names -----------------------------------------------
+
+    def op_names(self, node: Node) -> frozenset[str]:
+        """Names of every operator in ``node``'s subtree (memoized).
+
+        The :class:`~repro.optimizer.memo.Memo` keys its reverse
+        dependency index on these; sharing one cache per context keeps
+        the derivation O(1) amortized across memos and feedback rounds.
+        """
+        cached = self._op_names_cache.get(node)
+        if cached is None:
+            if node.children:
+                cached = frozenset({node.op.name}).union(
+                    *(self.op_names(c) for c in node.children)
+                )
+            else:
+                cached = frozenset({node.op.name})
+            self._op_names_cache[node] = cached
+        return cached
 
     # -- output attribute sets ------------------------------------------------
 

@@ -1,0 +1,245 @@
+"""The incremental Memo: a first-class, invalidatable Volcano store.
+
+PR 1 buried the Volcano memo — the interned-sub-plan -> pruned-physical-
+options table — inside :class:`~repro.optimizer.physical.PhysicalOptimizer`,
+which made it impossible to selectively invalidate, shard across workers,
+or carry across feedback rounds.  This module extracts it into a
+standalone subsystem with three responsibilities:
+
+**Ownership.**  A :class:`Memo` owns every piece of per-plan-space derived
+state the optimizer computes: the physical options table, the cardinality
+estimator's per-node estimate cache and per-attribute-set width cache
+(bound into the estimator via :meth:`Memo.bind`, so invalidation reaches
+them), and the enumerated closure of each optimized flow (plan legality is
+hint-independent, so the closure never needs invalidating).
+
+**Dirty-spine invalidation.**  Alongside the table the memo maintains a
+reverse dependency index: operator name -> the memo entries whose logical
+subtree contains that operator.  When feedback (or a user) changes the
+hints, observations, or source statistics of some operators,
+:meth:`Memo.invalidate` evicts exactly the entries on the spine *above*
+the changed operators — both physical options and cached estimates —
+so the next :meth:`Optimizer.optimize(memo=...)
+<repro.optimizer.optimizer.Optimizer.optimize>` call re-costs the dirty
+spine and reuses everything else verbatim.  Because an estimate (and
+hence a cost) depends only on the operators inside its node's subtree —
+their hints, per-signature observations, and source statistics — an entry
+containing no changed operator is bit-identical under the new estimator,
+which is what makes the reuse exact (pinned by the invalidation parity
+tests).
+
+**Worker merge.**  Parallel costing (:mod:`repro.optimizer.parallel`)
+costs shards of the alternative list in forked worker processes, each
+against its own fork-inherited copy of the shared memo; the new entries
+each worker produced are merged back through :meth:`Memo.adopt` /
+:meth:`Memo.merge` (first writer wins — entries are deterministic per
+node, so collisions are structurally identical).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+from ..core.plan import Node
+from .cardinality import CardinalityEstimator, EstStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle (physical imports memo)
+    from .physical import PhysNode
+
+
+class _RegisteringDict(dict):
+    """Estimate cache that registers every new key in the memo's index.
+
+    The cardinality estimator writes ``cache[node] = stats`` on its own;
+    routing those writes through the memo's dependency index keeps
+    :meth:`Memo.invalidate` authoritative over the estimate cache without
+    the estimator knowing the memo exists.
+    """
+
+    __slots__ = ("_memo",)
+
+    def __init__(self, memo: "Memo") -> None:
+        super().__init__()
+        self._memo = memo
+
+    def __setitem__(self, key: Node, value: EstStats) -> None:
+        self._memo._register(key)
+        super().__setitem__(key, value)
+
+
+class Memo:
+    """Invalidatable store of the Volcano search's derived state.
+
+    ``op_names`` maps a plan node to the frozenset of operator names in
+    its subtree; pass a context-level memoized one
+    (:meth:`~repro.optimizer.context.PlanContext.op_names`) to share the
+    name cache across memos and feedback rounds — a standalone memo
+    falls back to an internal memoized walk.
+    """
+
+    def __init__(
+        self,
+        op_names: Callable[[Node], frozenset[str]] | None = None,
+    ) -> None:
+        #: Interned logical sub-plan -> pruned physical options.
+        self.table: dict[Node, tuple["PhysNode", ...]] = {}
+        #: Interned logical sub-plan -> cached cardinality estimate.
+        self.est_cache: dict[Node, EstStats] = _RegisteringDict(self)
+        #: Output attribute set -> record width (catalog-derived, hence
+        #: hint-independent: never invalidated).
+        self.width_cache: dict[frozenset, float] = {}
+        #: Optimized flow -> its enumerated closure.  Swap legality does
+        #: not depend on hints, so re-optimization reuses the closure.
+        self.closures: dict[Node, tuple[Node, ...]] = {}
+        self._op_names = op_names if op_names is not None else self._names_of
+        self._names: dict[Node, frozenset[str]] = {}
+        # Reverse dependency index: operator name -> every node ever
+        # registered whose subtree contains that operator.  "Contains" is
+        # a stable property of an interned node, so eviction never needs
+        # to unregister: the index may name evicted nodes (their pops
+        # no-op on the next invalidation) and re-stored nodes re-register
+        # with a single set lookup.
+        self._registered: set[Node] = set()
+        self._by_name: dict[str, set[Node]] = {}
+        # Entries adopted from workers register lazily: the index is only
+        # consulted by invalidate()/dependents_of(), so bulk merges defer
+        # the per-name bookkeeping out of the costing critical path.
+        self._pending: list[Node] = []
+
+    # -- table access ------------------------------------------------------
+
+    def options(self, node: Node) -> tuple["PhysNode", ...] | None:
+        return self.table.get(node)
+
+    def store(self, node: Node, options: tuple["PhysNode", ...]) -> None:
+        self._register(node)
+        self.table[node] = options
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.table)
+
+    def __contains__(self, node: object) -> bool:
+        return node in self.table
+
+    # -- estimator binding -------------------------------------------------
+
+    def bind(self, estimator: CardinalityEstimator) -> None:
+        """Make ``estimator`` read and write this memo's caches.
+
+        Estimates become memo-scoped: they survive across optimize calls
+        and feedback rounds exactly as long as the options that were
+        costed from them, and :meth:`invalidate` evicts both together.
+        """
+        estimator.use_caches(self.est_cache, self.width_cache)
+
+    # -- dependency index --------------------------------------------------
+
+    def _register(self, node: Node) -> None:
+        if node in self._registered:
+            return
+        self._registered.add(node)
+        for name in self._op_names(node):
+            self._by_name.setdefault(name, set()).add(node)
+
+    def _names_of(self, node: Node) -> frozenset[str]:
+        """Fallback subtree-name derivation (memoized per interned node)."""
+        got = self._names.get(node)
+        if got is None:
+            if node.children:
+                got = frozenset({node.op.name}).union(
+                    *(self._names_of(c) for c in node.children)
+                )
+            else:
+                got = frozenset({node.op.name})
+            self._names[node] = got
+        return got
+
+    def _drain_pending(self) -> None:
+        if self._pending:
+            for node in self._pending:
+                self._register(node)
+            self._pending.clear()
+
+    def dependents_of(self, op_name: str) -> frozenset[Node]:
+        """Every registered node whose subtree contains ``op_name``.
+
+        Registration is permanent (containment is a stable property of an
+        interned node), so the result may include currently-evicted nodes.
+        """
+        self._drain_pending()
+        return frozenset(self._by_name.get(op_name, ()))
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate(self, changed_ops: Iterable[str]) -> int:
+        """Evict every entry whose subtree contains a changed operator.
+
+        This is the dirty-spine walk: a changed operator invalidates its
+        own entry and every entry *above* it (any node whose subtree
+        contains it), while sibling subtrees — typically the overwhelming
+        majority of a plan space's distinct sub-plans — stay cached.
+        Both the physical options table and the estimate cache are
+        evicted; widths and closures are hint-independent and survive.
+        Returns the number of entries evicted.
+        """
+        self._drain_pending()
+        victims: set[Node] = set()
+        for name in changed_ops:
+            nodes = self._by_name.get(name)
+            if nodes:
+                victims |= nodes
+        evicted = 0
+        table_pop = self.table.pop
+        est_pop = self.est_cache.pop  # plain dict.pop: eviction, not a write
+        for node in victims:
+            hit = table_pop(node, None) is not None
+            hit = (est_pop(node, None) is not None) or hit
+            if hit:
+                evicted += 1
+        return evicted
+
+    # -- worker merge ------------------------------------------------------
+
+    def adopt(
+        self,
+        table_items: Iterable[tuple[Node, tuple["PhysNode", ...]]],
+        est_items: Iterable[tuple[Node, EstStats]] = (),
+        width_items: Iterable[tuple[frozenset, float]] = (),
+    ) -> int:
+        """Merge worker-produced entries; existing entries win.
+
+        Per-node entries are deterministic (computed bottom-up from the
+        child entries, independent of which alternative triggered them),
+        so when two workers both produced an entry the copies are
+        structurally identical and keeping the first is exact.  Returns
+        the number of options-table entries adopted.
+        """
+        adopted = 0
+        table = self.table
+        pending = self._pending
+        for node, options in table_items:
+            if node not in table:
+                table[node] = options
+                pending.append(node)
+                adopted += 1
+        est_cache = self.est_cache
+        for node, est in est_items:
+            if node not in est_cache:
+                # Plain dict write: registration is deferred to _pending.
+                dict.__setitem__(est_cache, node, est)
+                pending.append(node)
+        for key, width in width_items:
+            self.width_cache.setdefault(key, width)
+        return adopted
+
+    def merge(self, other: "Memo") -> int:
+        """Merge another memo's entries into this one (existing win)."""
+        count = self.adopt(
+            other.table.items(), other.est_cache.items(), other.width_cache.items()
+        )
+        for flow, closure in other.closures.items():
+            self.closures.setdefault(flow, closure)
+        return count

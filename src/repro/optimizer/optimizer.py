@@ -8,17 +8,20 @@ rank the resulting execution plans by estimated cost.
 
 from __future__ import annotations
 
+import random
 import time
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Iterable
 
 from ..core.catalog import Catalog
+from ..core.errors import OptimizationError
 from ..core.plan import Node, body as plan_body, signature
 from ..core.udf import AnnotationMode
 from .cardinality import CardinalityEstimator, Hints
 from .context import PlanContext
 from .cost import CostParams
 from .enumeration import enumerate_flows
+from .memo import Memo
 from .physical import PhysicalOptimizer, PhysNode
 
 
@@ -91,11 +94,35 @@ class Optimizer:
     """Enumerate + physically optimize + rank.
 
     With ``reuse_memo`` (the default) a single :class:`PhysicalOptimizer`
-    — and hence a single Volcano memo table of interned sub-plan ->
-    physical options — is shared across every enumerated alternative, so
-    a subtree occurring in hundreds of alternatives is planned once.
-    ``reuse_memo=False`` re-plans each alternative from scratch (the
-    reference path; results are identical, just slower).
+    — and hence a single Volcano :class:`~repro.optimizer.memo.Memo` of
+    interned sub-plan -> physical options — is shared across every
+    enumerated alternative, so a subtree occurring in hundreds of
+    alternatives is planned once.  ``reuse_memo=False`` re-plans each
+    alternative from scratch (the reference path; results are identical,
+    just slower).
+
+    **Incremental re-costing.**  :meth:`optimize` accepts an explicit
+    ``memo`` (see :meth:`new_memo`) whose surviving entries — options,
+    estimates, and the enumerated closure — are reused verbatim; after a
+    hint or statistics change, call :meth:`reoptimize` (or
+    :meth:`~repro.optimizer.memo.Memo.invalidate` yourself) so the dirty
+    spine above the changed operators is evicted first.  By default every
+    :meth:`optimize` call builds a fresh memo, so one ``Optimizer``
+    instance is safely re-entrant across plans and repeated calls.
+
+    **Parallel costing.**  With ``jobs > 1`` the alternative list is
+    sharded across forked worker processes, each costing against its own
+    copy of the shared memo; worker memos are merged back afterwards
+    (:mod:`repro.optimizer.parallel`).  Results are bit-identical to
+    sequential costing; on platforms without ``fork`` the setting is
+    ignored.
+
+    **Plan-space sampling.**  ``max_alternatives=N`` ranks a deterministic
+    sample of the closure — the implemented flow plus ``N - 1``
+    alternatives drawn without replacement by ``sample_seed`` — for flows
+    whose closure explodes; the sampled alternatives are still costed
+    through the shared memo, whose branch-and-bound cut keeps each
+    costing cost-bounded.  ``None`` (the default) ranks the full closure.
 
     ``estimator_factory`` is the cardinality-estimation injection point:
     it is called once per :meth:`optimize` with ``(ctx, hints)`` and must
@@ -116,7 +143,21 @@ class Optimizer:
             [PlanContext, dict[str, Hints]], CardinalityEstimator
         ]
         | None = None,
+        jobs: int = 1,
+        max_alternatives: int | None = None,
+        sample_seed: int = 0,
     ) -> None:
+        if jobs < 1:
+            raise OptimizationError(f"jobs must be >= 1, got {jobs}")
+        if jobs > 1 and not reuse_memo:
+            raise OptimizationError(
+                "jobs > 1 requires reuse_memo=True: the reference path "
+                "re-plans every alternative sequentially from scratch"
+            )
+        if max_alternatives is not None and max_alternatives < 1:
+            raise OptimizationError(
+                f"max_alternatives must be None or >= 1, got {max_alternatives}"
+            )
         self.catalog = catalog
         self.hints = hints or {}
         self.mode = mode
@@ -124,30 +165,58 @@ class Optimizer:
         self.ctx = PlanContext(catalog, mode)
         self.reuse_memo = reuse_memo
         self.estimator_factory = estimator_factory or CardinalityEstimator
+        self.jobs = jobs
+        self.max_alternatives = max_alternatives
+        self.sample_seed = sample_seed
         #: Estimator used by the most recent :meth:`optimize` call — the
         #: feedback loop reads its cached estimates for q-error reporting.
         self.last_estimator: CardinalityEstimator | None = None
 
-    def optimize(self, plan: Node) -> OptimizationResult:
+    def new_memo(self) -> Memo:
+        """A fresh memo wired to this optimizer's context.
+
+        Pass it to :meth:`optimize` to carry costed state across calls;
+        invalidate it (:meth:`reoptimize`) whenever the hints or learned
+        statistics of some operators change in between.
+        """
+        return Memo(op_names=self.ctx.op_names)
+
+    def optimize(self, plan: Node, memo: Memo | None = None) -> OptimizationResult:
+        """Enumerate, cost, and rank every alternative of ``plan``.
+
+        With an explicit ``memo``, surviving entries (and the cached
+        closure) are reused and new entries are left in the memo for the
+        next call; the caller owns invalidation across hint changes.
+        Without one, a fresh memo is used per call.
+        """
+        if memo is not None and not self.reuse_memo:
+            raise OptimizationError(
+                "an explicit memo requires reuse_memo=True (the reference "
+                "path re-plans every alternative from scratch)"
+            )
         flow = plan_body(plan)
         t0 = time.perf_counter()
-        alternatives = enumerate_flows(flow, self.ctx)
+        alternatives = self._closure(flow, memo)
+        sampled = self._sample(alternatives)
         t1 = time.perf_counter()
         estimator = self.estimator_factory(self.ctx, self.hints)
         self.last_estimator = estimator
-        shared = (
-            PhysicalOptimizer(self.ctx, estimator, self.params)
-            if self.reuse_memo
-            else None
-        )
         scored: list[tuple[float, Node, PhysNode]] = []
-        for alt in alternatives:
-            physical_optimizer = shared or PhysicalOptimizer(
-                self.ctx, estimator, self.params
-            )
-            phys = physical_optimizer.optimize(alt)
-            scored.append((phys.cost_total, alt, phys))
+        if self.reuse_memo:
+            shared_memo = memo if memo is not None else self.new_memo()
+            shared_memo.bind(estimator)
+            for alt, phys in self._cost_all(sampled, estimator, shared_memo):
+                scored.append((phys.cost_total, alt, phys))
+        else:
+            for alt in sampled:
+                physical_optimizer = PhysicalOptimizer(
+                    self.ctx, estimator, self.params
+                )
+                phys = physical_optimizer.optimize(alt)
+                scored.append((phys.cost_total, alt, phys))
         t2 = time.perf_counter()
+        # Stable sort: equal-cost plans keep enumeration order, identical
+        # between the sequential, memo-reusing, and parallel paths.
         scored.sort(key=lambda item: item[0])
         ranked = [
             RankedPlan(rank=i + 1, body=alt, physical=phys)
@@ -159,6 +228,71 @@ class Optimizer:
             enumeration_seconds=t1 - t0,
             physical_seconds=t2 - t1,
         )
+
+    def reoptimize(
+        self, plan: Node, memo: Memo, changed_ops: Iterable[str]
+    ) -> OptimizationResult:
+        """Re-rank after a hint/statistics change to ``changed_ops``.
+
+        Evicts the dirty spine above the changed operators from ``memo``
+        and re-optimizes; entries whose subtrees contain no changed
+        operator — and the enumerated closure — are reused verbatim.
+        Bit-identical to a full rebuild with the same hints (pinned by
+        the invalidation parity tests), at a fraction of the cost.
+        """
+        memo.invalidate(changed_ops)
+        return self.optimize(plan, memo=memo)
+
+    # -- internals ---------------------------------------------------------
+
+    def _closure(self, flow: Node, memo: Memo | None) -> tuple[Node, ...]:
+        """The flow's enumerated closure, cached in the memo if present.
+
+        Swap legality depends on derived plan properties, never on hints,
+        so a memo-cached closure stays valid across invalidations.
+        """
+        if memo is not None:
+            cached = memo.closures.get(flow)
+            if cached is not None:
+                return cached
+        alternatives = tuple(enumerate_flows(flow, self.ctx))
+        if memo is not None:
+            memo.closures[flow] = alternatives
+        return alternatives
+
+    def _sample(self, alternatives: tuple[Node, ...]) -> tuple[Node, ...]:
+        """Deterministic closure sample: the original + N-1 seeded draws."""
+        limit = self.max_alternatives
+        if limit is None or len(alternatives) <= limit:
+            return alternatives
+        rng = random.Random(self.sample_seed)
+        drawn = rng.sample(range(1, len(alternatives)), limit - 1)
+        # Ascending enumeration order keeps equal-cost tie-breaks stable.
+        return (alternatives[0], *(alternatives[i] for i in sorted(drawn)))
+
+    def _cost_all(
+        self,
+        alternatives: tuple[Node, ...],
+        estimator: CardinalityEstimator,
+        memo: Memo,
+    ) -> list[tuple[Node, PhysNode]]:
+        """Cost alternatives against the shared memo, forking if asked."""
+        if self.jobs > 1 and len(alternatives) > 1:
+            from . import parallel
+
+            if parallel.available():
+                return parallel.cost_alternatives(
+                    alternatives,
+                    self.ctx,
+                    estimator,
+                    self.params,
+                    memo,
+                    min(self.jobs, len(alternatives)),
+                )
+        physical_optimizer = PhysicalOptimizer(
+            self.ctx, estimator, self.params, memo=memo
+        )
+        return [(alt, physical_optimizer.optimize(alt)) for alt in alternatives]
 
 
 def optimize(

@@ -11,14 +11,19 @@ established (the Q15 discussion of Section 7.3).
 The search is a small Volcano-style dynamic program: each node returns
 its cheapest physical plan per partitioning property.
 
-The option lists are memoized per interned logical sub-plan, so one
-:class:`PhysicalOptimizer` instance can be shared across every enumerated
-alternative of a plan space: a subtree that appears in hundreds of
-alternatives is physically optimized exactly once (hash-consing makes the
-memo key an identity lookup).  Binary operators additionally apply an
-exact branch-and-bound cut: once every achievable output partitioning has
-an option, child combinations whose summed subtree costs cannot beat any
-kept option are skipped without generating their physical variants.
+The option lists are memoized per interned logical sub-plan in a
+:class:`~repro.optimizer.memo.Memo`, so one :class:`PhysicalOptimizer`
+instance can be shared across every enumerated alternative of a plan
+space: a subtree that appears in hundreds of alternatives is physically
+optimized exactly once (hash-consing makes the memo key an identity
+lookup).  The memo is a first-class subsystem: it can be passed in to be
+shared across optimizer instances, invalidated along the dirty spine of
+changed operators between feedback rounds, and sharded across worker
+processes (see :mod:`repro.optimizer.memo`).  Binary operators
+additionally apply an exact branch-and-bound cut: once every achievable
+output partitioning has an option, child combinations whose summed
+subtree costs cannot beat any kept option are skipped without generating
+their physical variants.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ from ..core.schema import Attribute
 from .cardinality import CardinalityEstimator, EstStats
 from .context import PlanContext
 from .cost import CostParams
+from .memo import Memo
 
 Partitioning = frozenset[frozenset[Attribute]]
 RANDOM: Partitioning = frozenset()
@@ -178,16 +184,23 @@ class PhysicalOptimizer:
         ctx: PlanContext,
         estimator: CardinalityEstimator,
         params: CostParams,
+        memo: Memo | None = None,
     ) -> None:
         self.ctx = ctx
         self.est = estimator
         self.params = params
-        # Memo table of the Volcano search: interned logical sub-plan ->
-        # pruned physical options.  Shared across every alternative this
-        # optimizer instance is asked to plan.
-        self._memo: dict[Node, tuple[PhysNode, ...]] = {}
+        # Memo of the Volcano search: interned logical sub-plan -> pruned
+        # physical options, shared across every alternative this optimizer
+        # instance is asked to plan.  A caller-provided memo additionally
+        # shares entries across optimizer instances, feedback rounds (via
+        # dirty-spine invalidation), and worker processes.
+        self._memo = memo if memo is not None else Memo(op_names=ctx.op_names)
 
     # -- public ------------------------------------------------------------
+
+    @property
+    def memo(self) -> Memo:
+        return self._memo
 
     def optimize(self, body: Node) -> PhysNode:
         options = self._options(body)
@@ -197,10 +210,10 @@ class PhysicalOptimizer:
     # -- option generation -----------------------------------------------------
 
     def _options(self, node: Node) -> tuple[PhysNode, ...]:
-        cached = self._memo.get(node)
+        cached = self._memo.options(node)
         if cached is None:
             cached = self._compute_options(node)
-            self._memo[node] = cached
+            self._memo.store(node, cached)
         return cached
 
     def _compute_options(self, node: Node) -> tuple[PhysNode, ...]:
@@ -340,20 +353,30 @@ class PhysicalOptimizer:
         writes = self.ctx.props(node.op).writes
         est = self.est.estimate(node)
         cost = self._udf_cpu(node, est)
-        return self._prune(
-            [
-                self._wrap(
-                    node,
-                    est,
-                    _FORWARD_SHIPS,
-                    LocalStrategy.PIPELINE,
-                    None,
-                    (child,),
-                    cost,
-                    _keep_partitionings(child.partitioning, writes),
-                )
-                for child in self._options(node.only_child)
-            ]
+        # Pick the cheapest child per output partitioning *before*
+        # constructing any PhysNode: ``cost + child.cost_total`` is
+        # exactly the ``cost_total`` _wrap would compute (summing a
+        # 1-tuple adds a float-exact 0.0), and strict-< replacement in
+        # child order reproduces _prune's first-wins tie-break.
+        chosen: dict[Partitioning, tuple[float, PhysNode]] = {}
+        for child in self._options(node.only_child):
+            parts = _keep_partitionings(child.partitioning, writes)
+            total = cost + child.cost_total
+            current = chosen.get(parts)
+            if current is None or total < current[0]:
+                chosen[parts] = (total, child)
+        return tuple(
+            self._wrap(
+                node,
+                est,
+                _FORWARD_SHIPS,
+                LocalStrategy.PIPELINE,
+                None,
+                (child,),
+                cost,
+                parts,
+            )
+            for parts, (_, child) in chosen.items()
         )
 
     def _reduce_options(self, node: Node) -> tuple[PhysNode, ...]:
@@ -365,31 +388,39 @@ class PhysicalOptimizer:
         est = self.est.estimate(node)
         udf_cost = self._udf_cpu(node, est)
         parts = frozenset({key})
-        out: list[PhysNode] = []
+        # Every option lands in the same partitioning bucket, so compare
+        # ``cost + child.cost_total`` (the exact cost_total _wrap would
+        # compute) across children and construct only the winner; strict-<
+        # in child order reproduces _prune's first-wins tie-break.
+        best: tuple[float, float, bool, PhysNode] | None = None
         for child in self._options(node.only_child):
             in_est = child.est
             cost = 0.0
-            if _compatible(child.partitioning, key):
-                ship = _FORWARD
-            else:
-                ship = Ship(ShipKind.PARTITION, key_tuple)
+            forward = _compatible(child.partitioning, key)
+            if not forward:
                 cost += params.net_seconds(params.partition_bytes(in_est.bytes))
             cost += params.cpu_seconds(params.sort_units(in_est.rows))
             cost += params.disk_seconds(params.spill_bytes(in_est.bytes))
             cost += udf_cost
-            out.append(
-                self._wrap(
-                    node,
-                    est,
-                    (ship,),
-                    LocalStrategy.SORT_GROUP,
-                    None,
-                    (child,),
-                    cost,
-                    parts,
-                )
-            )
-        return self._prune(out)
+            total = cost + child.cost_total
+            if best is None or total < best[0]:
+                best = (total, cost, forward, child)
+        if best is None:  # pragma: no cover - sources guarantee options
+            return ()
+        _, cost, forward, child = best
+        ship = _FORWARD if forward else Ship(ShipKind.PARTITION, key_tuple)
+        return (
+            self._wrap(
+                node,
+                est,
+                (ship,),
+                LocalStrategy.SORT_GROUP,
+                None,
+                (child,),
+                cost,
+                parts,
+            ),
+        )
 
     def _match_planner(self, node: Node):
         """Per-logical-node invariants hoisted; returns a per-pair generator."""

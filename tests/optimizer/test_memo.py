@@ -1,0 +1,323 @@
+"""The Memo subsystem: ownership, dependency index, invalidation, reuse.
+
+The memo is first-class state: it owns the physical options table, the
+memo-scoped estimator caches, and the enumerated closure; it maintains a
+reverse dependency index (operator name -> entries whose subtree contains
+the operator); and ``invalidate`` evicts exactly the dirty spine above a
+changed operator.  Re-optimization over an invalidated memo must be
+bit-identical to a full rebuild, and an ``Optimizer`` instance must stay
+re-entrant: no memo state may leak between plans or calls unless the
+caller passes a memo explicitly.
+"""
+
+import pytest
+
+from repro.core import AnnotationMode
+from repro.core.errors import OptimizationError
+from repro.core.plan import body as plan_body, signature
+from repro.optimizer import (
+    CardinalityEstimator,
+    Hints,
+    Memo,
+    Optimizer,
+    PlanContext,
+    enumerate_flows,
+)
+from repro.optimizer.physical import PhysicalOptimizer
+from repro.workloads import (
+    build_clickstream,
+    build_q7,
+    build_q15,
+    build_textmining,
+)
+
+BUILDERS = {
+    "tpch_q7": build_q7,
+    "tpch_q15": build_q15,
+    "clickstream": build_clickstream,
+    "textmining": build_textmining,
+}
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {name: build() for name, build in BUILDERS.items()}
+
+
+def assert_identical(got, want):
+    assert got.plan_count == want.plan_count
+    for g, w in zip(got.ranked, want.ranked):
+        assert g.rank == w.rank
+        assert signature(g.body) == signature(w.body)
+        assert g.cost == w.cost  # exact float equality, not approx
+        assert g.physical.describe() == w.physical.describe()
+
+
+# -- ownership and the dependency index ---------------------------------------
+
+
+def test_memo_owns_options_estimates_and_closure(workloads):
+    w = workloads["tpch_q7"]
+    opt = Optimizer(w.catalog, w.hints, AnnotationMode.SCA, w.params)
+    memo = opt.new_memo()
+    result = opt.optimize(w.plan, memo=memo)
+    flow = plan_body(w.plan)
+    # closure cached under the optimized flow
+    assert flow in memo.closures
+    assert len(memo.closures[flow]) == result.plan_count
+    # options table holds exactly the distinct sub-plans of the closure
+    distinct = set()
+    for alt in memo.closures[flow]:
+        stack = [alt]
+        while stack:
+            n = stack.pop()
+            distinct.add(n)
+            stack.extend(n.children)
+    assert set(memo.table) == distinct
+    # estimates are memo-scoped: the estimator wrote into the memo's cache
+    assert set(memo.est_cache) == distinct
+    assert opt.last_estimator._cache is memo.est_cache
+
+
+def test_dependency_index_tracks_subtree_containment(workloads):
+    w = workloads["tpch_q7"]
+    opt = Optimizer(w.catalog, w.hints, AnnotationMode.SCA, w.params)
+    memo = opt.new_memo()
+    opt.optimize(w.plan, memo=memo)
+    dependents = memo.dependents_of("gamma_revenue")
+    assert dependents  # the reduce appears in every alternative
+    for node in memo.table:
+        contains = "gamma_revenue" in opt.ctx.op_names(node)
+        assert (node in dependents) == contains
+    # an unknown operator has no dependents
+    assert memo.dependents_of("no_such_op") == frozenset()
+
+
+def test_invalidate_evicts_exactly_the_dirty_spine(workloads):
+    w = workloads["tpch_q7"]
+    opt = Optimizer(w.catalog, w.hints, AnnotationMode.SCA, w.params)
+    memo = opt.new_memo()
+    opt.optimize(w.plan, memo=memo)
+    before = set(memo.table)
+    dirty = {n for n in before if "gamma_revenue" in opt.ctx.op_names(n)}
+    evicted = memo.invalidate({"gamma_revenue"})
+    assert evicted == len(dirty)
+    assert set(memo.table) == before - dirty
+    assert set(memo.est_cache) == before - dirty
+    # clean entries survived untouched; a second invalidation is a no-op
+    assert memo.invalidate({"gamma_revenue"}) == 0
+    # width caches and closures are hint-independent and survive
+    assert memo.width_cache
+    assert memo.closures
+
+
+def test_invalidate_unknown_op_is_noop(workloads):
+    w = workloads["clickstream"]
+    opt = Optimizer(w.catalog, w.hints, AnnotationMode.SCA, w.params)
+    memo = opt.new_memo()
+    opt.optimize(w.plan, memo=memo)
+    size = len(memo)
+    assert memo.invalidate({"never_heard_of_it"}) == 0
+    assert len(memo) == size
+
+
+# -- dirty-spine re-optimization parity ---------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(BUILDERS))
+def test_reoptimize_after_hint_change_matches_full_rebuild(workloads, name):
+    w = workloads[name]
+    opt = Optimizer(w.catalog, w.hints, AnnotationMode.SCA, w.params)
+    memo = opt.new_memo()
+    opt.optimize(w.plan, memo=memo)
+    # change one hinted operator (or hint a previously unhinted one)
+    target = sorted(opt.ctx.op_names(plan_body(w.plan)))[0]
+    opt.hints = {**w.hints, target: Hints(selectivity=0.31, cpu_per_call=2.7)}
+    incremental = opt.reoptimize(w.plan, memo, {target})
+    full = Optimizer(
+        w.catalog, opt.hints, AnnotationMode.SCA, w.params
+    ).optimize(w.plan)
+    assert_identical(incremental, full)
+
+
+def test_repeated_invalidations_converge(workloads):
+    """Alternating between two hint sets over one memo stays exact."""
+    w = workloads["tpch_q7"]
+    opt = Optimizer(w.catalog, w.hints, AnnotationMode.SCA, w.params)
+    memo = opt.new_memo()
+    opt.optimize(w.plan, memo=memo)
+    changed = {**w.hints, "gamma_revenue": Hints(distinct_keys=5, cpu_per_call=2.0)}
+    for hints in (changed, w.hints, changed):
+        opt.hints = hints
+        incremental = opt.reoptimize(w.plan, memo, {"gamma_revenue"})
+        full = Optimizer(
+            w.catalog, hints, AnnotationMode.SCA, w.params
+        ).optimize(w.plan)
+        assert_identical(incremental, full)
+
+
+def test_memo_reuse_without_changes_is_identical(workloads):
+    w = workloads["textmining"]
+    opt = Optimizer(w.catalog, w.hints, AnnotationMode.SCA, w.params)
+    memo = opt.new_memo()
+    first = opt.optimize(w.plan, memo=memo)
+    again = opt.optimize(w.plan, memo=memo)  # fully warm: no recompute
+    assert_identical(again, first)
+
+
+def test_memo_merge_combines_entries(workloads):
+    w = workloads["clickstream"]
+    opt = Optimizer(w.catalog, w.hints, AnnotationMode.SCA, w.params)
+    a, b = opt.new_memo(), opt.new_memo()
+    opt.optimize(w.plan, memo=a)
+    opt.optimize(w.plan, memo=b)
+    merged = opt.new_memo()
+    assert merged.merge(a) == len(a)
+    assert merged.merge(b) == 0  # everything already present; first wins
+    assert set(merged.table) == set(a.table)
+    assert set(merged.closures) == set(a.closures)
+
+
+def test_explicit_memo_requires_reuse_memo():
+    w = build_q15()
+    opt = Optimizer(
+        w.catalog, w.hints, AnnotationMode.SCA, w.params, reuse_memo=False
+    )
+    with pytest.raises(OptimizationError):
+        opt.optimize(w.plan, memo=Memo())
+
+
+# -- optimizer re-entrancy (satellite regression) ------------------------------
+
+
+def test_optimizer_reentrant_across_plans_and_calls(workloads):
+    """One Optimizer instance, several plans: results must be bit-identical
+    to fresh-instance runs — no shared-PhysicalOptimizer memo state may
+    leak between plans or calls."""
+    w = workloads["tpch_q7"]
+    ctx = PlanContext(w.catalog, AnnotationMode.SCA)
+    alternatives = enumerate_flows(plan_body(w.plan), ctx)
+    other_plan = alternatives[len(alternatives) // 2]  # a reordered body
+
+    shared = Optimizer(w.catalog, w.hints, AnnotationMode.SCA, w.params)
+    first = shared.optimize(w.plan)
+    second = shared.optimize(other_plan)
+    third = shared.optimize(w.plan)
+
+    fresh_first = Optimizer(
+        w.catalog, w.hints, AnnotationMode.SCA, w.params
+    ).optimize(w.plan)
+    fresh_second = Optimizer(
+        w.catalog, w.hints, AnnotationMode.SCA, w.params
+    ).optimize(other_plan)
+    assert_identical(first, fresh_first)
+    assert_identical(second, fresh_second)
+    assert_identical(third, fresh_first)
+
+
+def test_optimizer_reentrant_after_hint_mutation(workloads):
+    """Without an explicit memo, a hint change needs no invalidation: the
+    next optimize() call starts from a fresh memo."""
+    w = workloads["clickstream"]
+    opt = Optimizer(w.catalog, w.hints, AnnotationMode.SCA, w.params)
+    opt.optimize(w.plan)
+    opt.hints = {**w.hints, "condense_sessions": Hints(distinct_keys=3)}
+    changed = opt.optimize(w.plan)
+    fresh = Optimizer(
+        w.catalog, opt.hints, AnnotationMode.SCA, w.params
+    ).optimize(w.plan)
+    assert_identical(changed, fresh)
+
+
+def test_physical_optimizer_default_memo_is_private(workloads):
+    """Two PhysicalOptimizer instances never share state by accident."""
+    w = workloads["tpch_q15"]
+    ctx = PlanContext(w.catalog, AnnotationMode.SCA)
+    est = CardinalityEstimator(ctx, w.hints)
+    a = PhysicalOptimizer(ctx, est, w.params)
+    b = PhysicalOptimizer(ctx, est, w.params)
+    assert a.memo is not b.memo
+    a.optimize(plan_body(w.plan))
+    assert len(b.memo) == 0
+
+
+# -- plan-space sampling (satellite) ------------------------------------------
+
+
+def test_sampling_full_closure_when_unlimited(workloads):
+    w = workloads["tpch_q7"]
+    unlimited = Optimizer(
+        w.catalog, w.hints, AnnotationMode.SCA, w.params, max_alternatives=None
+    ).optimize(w.plan)
+    reference = Optimizer(
+        w.catalog, w.hints, AnnotationMode.SCA, w.params
+    ).optimize(w.plan)
+    assert_identical(unlimited, reference)
+
+
+def test_sampling_bounds_and_determinism(workloads):
+    w = workloads["tpch_q7"]
+
+    def run(seed):
+        return Optimizer(
+            w.catalog,
+            w.hints,
+            AnnotationMode.SCA,
+            w.params,
+            max_alternatives=40,
+            sample_seed=seed,
+        ).optimize(w.plan)
+
+    a, b, c = run(7), run(7), run(8)
+    assert a.plan_count == 40
+    assert_identical(a, b)  # deterministic given the seed
+    assert {signature(p.body) for p in a.ranked} != {
+        signature(p.body) for p in c.ranked
+    } or [p.cost for p in a.ranked] != [p.cost for p in c.ranked]
+    # the implemented flow is always part of the sample
+    flow = plan_body(w.plan)
+    assert any(p.body is flow for p in a.ranked)
+
+
+def test_sampling_ranks_are_subset_consistent(workloads):
+    """Sampled plans carry the same costs as in the full ranking."""
+    w = workloads["tpch_q7"]
+    full = Optimizer(
+        w.catalog, w.hints, AnnotationMode.SCA, w.params
+    ).optimize(w.plan)
+    cost_of = {p.body: p.cost for p in full.ranked}
+    sampled = Optimizer(
+        w.catalog,
+        w.hints,
+        AnnotationMode.SCA,
+        w.params,
+        max_alternatives=25,
+        sample_seed=3,
+    ).optimize(w.plan)
+    for plan in sampled.ranked:
+        assert cost_of[plan.body] == plan.cost
+    costs = [p.cost for p in sampled.ranked]
+    assert costs == sorted(costs)
+
+
+def test_sampling_noop_when_closure_small():
+    w = build_q15()  # 3 alternatives
+    sampled = Optimizer(
+        w.catalog, w.hints, AnnotationMode.SCA, w.params,
+        max_alternatives=10, sample_seed=0,
+    ).optimize(w.plan)
+    reference = Optimizer(
+        w.catalog, w.hints, AnnotationMode.SCA, w.params
+    ).optimize(w.plan)
+    assert_identical(sampled, reference)
+
+
+def test_sampling_validates_arguments():
+    w = build_q15()
+    with pytest.raises(OptimizationError):
+        Optimizer(w.catalog, max_alternatives=0)
+    with pytest.raises(OptimizationError):
+        Optimizer(w.catalog, jobs=0)
+    with pytest.raises(OptimizationError):
+        # the reference path is sequential by definition
+        Optimizer(w.catalog, reuse_memo=False, jobs=2)

@@ -1,0 +1,139 @@
+"""Parallel plan costing must be bit-identical to sequential costing.
+
+``Optimizer(jobs=N)`` shards the alternative list across forked worker
+processes, each costing against its own copy of the shared memo; the
+worker entries are shipped back as primitives and merged.  These tests
+pin that the parallel path is plan-for-plan identical to the sequential
+one (ranked order, exact costs, ships, locals, estimates), that the
+merged memo is usable afterwards (warm reuse, dirty-spine invalidation),
+and that the whole pipeline composes with the feedback loop and CLI.
+"""
+
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core import AnnotationMode
+from repro.core.plan import body as plan_body, signature
+from repro.optimizer import Hints, Optimizer
+from repro.optimizer import parallel
+from repro.workloads import build_clickstream, build_q7, build_textmining
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="parallel costing requires fork-style process inheritance",
+)
+
+
+def assert_identical(got, want):
+    assert got.plan_count == want.plan_count
+    for g, w in zip(got.ranked, want.ranked):
+        assert g.rank == w.rank
+        assert signature(g.body) == signature(w.body)
+        assert g.cost == w.cost  # exact float equality
+        assert g.physical.describe() == w.physical.describe()
+
+
+@pytest.fixture(scope="module")
+def q7():
+    return build_q7()
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+def test_parallel_matches_sequential_q7(q7, jobs):
+    sequential = Optimizer(
+        q7.catalog, q7.hints, AnnotationMode.SCA, q7.params
+    ).optimize(q7.plan)
+    parallel_result = Optimizer(
+        q7.catalog, q7.hints, AnnotationMode.SCA, q7.params, jobs=jobs
+    ).optimize(q7.plan)
+    assert_identical(parallel_result, sequential)
+
+
+def test_parallel_matches_sequential_small_spaces():
+    for build in (build_clickstream, build_textmining):
+        w = build()
+        sequential = Optimizer(
+            w.catalog, w.hints, AnnotationMode.SCA, w.params
+        ).optimize(w.plan)
+        parallel_result = Optimizer(
+            w.catalog, w.hints, AnnotationMode.SCA, w.params, jobs=3
+        ).optimize(w.plan)
+        assert_identical(parallel_result, sequential)
+
+
+def test_parallel_merges_worker_memos(q7):
+    opt = Optimizer(q7.catalog, q7.hints, AnnotationMode.SCA, q7.params, jobs=2)
+    memo = opt.new_memo()
+    first = opt.optimize(q7.plan, memo=memo)
+    # the merged memo covers every distinct sub-plan of the closure
+    distinct = set()
+    for alt in memo.closures[plan_body(q7.plan)]:
+        stack = [alt]
+        while stack:
+            n = stack.pop()
+            distinct.add(n)
+            stack.extend(n.children)
+    assert set(memo.table) == distinct
+    # and is immediately reusable: a warm second call is identical
+    again = opt.optimize(q7.plan, memo=memo)
+    assert_identical(again, first)
+
+
+def test_invalidation_over_parallel_merged_memo(q7):
+    """Dirty-spine re-costing over worker-built entries stays exact."""
+    opt = Optimizer(q7.catalog, q7.hints, AnnotationMode.SCA, q7.params, jobs=2)
+    memo = opt.new_memo()
+    opt.optimize(q7.plan, memo=memo)
+    opt.hints = {**q7.hints, "gamma_revenue": Hints(distinct_keys=9, cpu_per_call=2.0)}
+    incremental = opt.reoptimize(q7.plan, memo, {"gamma_revenue"})
+    full = Optimizer(
+        q7.catalog, opt.hints, AnnotationMode.SCA, q7.params
+    ).optimize(q7.plan)
+    assert_identical(incremental, full)
+
+
+def test_parallel_composes_with_sampling(q7):
+    kwargs = dict(max_alternatives=30, sample_seed=11)
+    sequential = Optimizer(
+        q7.catalog, q7.hints, AnnotationMode.SCA, q7.params, **kwargs
+    ).optimize(q7.plan)
+    parallel_result = Optimizer(
+        q7.catalog, q7.hints, AnnotationMode.SCA, q7.params, jobs=2, **kwargs
+    ).optimize(q7.plan)
+    assert sequential.plan_count == 30
+    assert_identical(parallel_result, sequential)
+
+
+def test_parallel_feedback_experiment_matches_sequential(tmp_path):
+    """The adaptive loop with jobs=2 reproduces the sequential outcome."""
+    from repro.bench import run_experiment
+
+    w = build_clickstream()
+    seq = run_experiment(w, picks=3, feedback_rounds=1)
+    par = run_experiment(build_clickstream(), picks=3, feedback_rounds=1, jobs=2)
+    assert seq.feedback is not None and par.feedback is not None
+    assert len(seq.feedback.rounds) == len(par.feedback.rounds)
+    for a, b in zip(seq.feedback.rounds, par.feedback.rounds):
+        assert a.pick.rank == b.pick.rank
+        assert a.pick_seconds == b.pick_seconds
+        assert a.qerror.per_node == b.qerror.per_node
+    assert [p.runtime_seconds for p in seq.executed] == [
+        p.runtime_seconds for p in par.executed
+    ]
+
+
+def test_worker_state_is_cleaned_up(q7):
+    Optimizer(
+        q7.catalog, q7.hints, AnnotationMode.SCA, q7.params, jobs=2
+    ).optimize(q7.plan)
+    assert parallel._WORKER is None
+
+
+def test_cli_jobs_flag(capsys):
+    from repro.cli import main
+
+    assert main(["experiment", "tpch_q15", "--picks", "2", "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Experiment" in out
