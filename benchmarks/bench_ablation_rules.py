@@ -33,7 +33,6 @@ def best_cost(flows, ctx, workload):
 
 
 def run_ablation(workload):
-    ctx = PlanContext(workload.catalog, AnnotationMode.SCA)
     flow = body(workload.plan)
 
     blocked = lambda *args, **kwargs: False  # noqa: E731

@@ -19,7 +19,6 @@ Results are written to ``benchmarks/results/reoptimize.json``.
 """
 
 import json
-import multiprocessing
 import os
 import statistics
 import time

@@ -14,6 +14,11 @@ from pathlib import Path
 from ..core.udf import AnnotationMode
 from ..engine.executor import Engine, ExecutionResult
 from ..feedback.adaptive import AdaptiveOptimizer, AdaptiveReport
+from ..feedback.midquery import (
+    DEFAULT_SWITCH_THRESHOLD,
+    MidQueryExperiment,
+    run_midquery,
+)
 from ..feedback.store import StatisticsStore
 from ..optimizer.cost import CostParams
 from ..optimizer.optimizer import OptimizationResult, Optimizer, RankedPlan
@@ -39,6 +44,9 @@ class ExperimentOutcome:
     optimization: OptimizationResult | None = None
     # Populated only when the experiment ran with feedback rounds.
     feedback: AdaptiveReport | None = None
+    # Populated only when the experiment ran with --midquery (no feedback
+    # rounds); feedback runs carry decisions on their rounds instead.
+    midquery: MidQueryExperiment | None = None
 
     @property
     def norm_costs(self) -> list[float]:
@@ -71,6 +79,8 @@ def run_experiment(
     feedback_rounds: int = 0,
     stats_store: StatisticsStore | str | Path | None = None,
     jobs: int = 1,
+    midquery: bool = False,
+    switch_threshold: float = DEFAULT_SWITCH_THRESHOLD,
 ) -> ExperimentOutcome:
     """Optimize a workload, execute rank-picked plans, collect the outcome.
 
@@ -83,11 +93,19 @@ def run_experiment(
     ``feedback_rounds=0`` and no store this is exactly the feedback-free
     protocol — the code path below is untouched.  ``jobs > 1`` shards
     plan costing across forked worker processes (bit-identical results).
+
+    With ``midquery`` the rank-1 pick is additionally raced against
+    itself under mid-query re-optimization (stage-by-stage execution with
+    suffix re-planning at every boundary, switching when the estimated
+    remaining cost improves by ``switch_threshold``); the comparison
+    lands in ``outcome.midquery``.  Under feedback rounds, each round's
+    deployed pick runs that way instead and the boundary decisions land
+    on the round reports.
     """
     if feedback_rounds > 0 or stats_store is not None:
         return _run_feedback_experiment(
             workload, picks, mode, params, execute_all, feedback_rounds,
-            stats_store, jobs,
+            stats_store, jobs, midquery, switch_threshold,
         )
     params = params or workload.params
     optimizer = Optimizer(workload.catalog, workload.hints, mode, params, jobs=jobs)
@@ -116,6 +134,20 @@ def run_experiment(
                 result=execution,
             )
         )
+    if midquery:
+        # The rank-1 pick is always the first chosen plan: reuse this
+        # experiment's optimization and its already-measured execution
+        # instead of re-enumerating the space and re-running the pick.
+        outcome.midquery = run_midquery(
+            workload,
+            mode,
+            params,
+            switch_threshold=switch_threshold,
+            optimization=result,
+            baseline=(
+                outcome.executed[0].result if outcome.executed else None
+            ),
+        )
     return outcome
 
 
@@ -128,6 +160,8 @@ def _run_feedback_experiment(
     feedback_rounds: int,
     stats_store: StatisticsStore | str | Path | None,
     jobs: int = 1,
+    midquery: bool = False,
+    switch_threshold: float = DEFAULT_SWITCH_THRESHOLD,
 ) -> ExperimentOutcome:
     """The Section 7.3 protocol driven through the adaptive feedback loop."""
     params = params or workload.params
@@ -140,7 +174,8 @@ def _run_feedback_experiment(
     else:
         store = StatisticsStore()
     adaptive = AdaptiveOptimizer(
-        workload, store=store, mode=mode, params=params, picks=picks, jobs=jobs
+        workload, store=store, mode=mode, params=params, picks=picks,
+        jobs=jobs, midquery=midquery, switch_threshold=switch_threshold,
     )
     report = adaptive.run(feedback_rounds)
     final = report.final

@@ -9,6 +9,7 @@ Usage::
     python -m repro experiment tpch_q7 --scale 10
     python -m repro experiment clickstream --feedback-rounds 2 --stats-store stats.json
     python -m repro experiment tpch_q7 --jobs 4
+    python -m repro experiment clickstream --midquery --switch-threshold 1.1
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ from .bench import render_figure, render_table, run_experiment
 from .core import AnnotationMode, body
 from .core.operators import UdfOperator
 from .core.plan import iter_nodes, render_tree
+from .feedback.midquery import DEFAULT_SWITCH_THRESHOLD
 from .optimizer import PlanContext, enumerate_flows
 from .workloads import ALL_WORKLOADS
 
@@ -88,6 +90,8 @@ def cmd_experiment(args) -> int:
         feedback_rounds=args.feedback_rounds,
         stats_store=args.stats_store,
         jobs=args.jobs,
+        midquery=args.midquery,
+        switch_threshold=args.switch_threshold,
     )
     print(render_figure(outcome, f"Experiment — {workload.name}"))
     if outcome.feedback is not None:
@@ -95,6 +99,9 @@ def cmd_experiment(args) -> int:
         print(outcome.feedback.describe())
         if args.stats_store:
             print(f"statistics store saved to {args.stats_store}")
+    if outcome.midquery is not None:
+        print()
+        print(outcome.midquery.describe())
     return 0
 
 
@@ -149,6 +156,24 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="N",
                 help="worker processes for plan costing (fork-based; "
                 "results are bit-identical to --jobs 1)",
+            )
+            p.add_argument(
+                "--midquery",
+                action="store_true",
+                help="execute the picked plan stage-by-stage, re-planning "
+                "the unexecuted suffix at every pipeline-stage boundary "
+                "(with feedback rounds: the deployed pick runs this way)",
+            )
+            p.add_argument(
+                "--switch-threshold",
+                type=float,
+                default=DEFAULT_SWITCH_THRESHOLD,
+                metavar="X",
+                help="minimum estimated-cost ratio (running suffix / "
+                "re-planned suffix) before mid-query abandons the running "
+                "plan; 1.0 switches on any improvement, inf never switches, "
+                "below 1.0 forces a switch at every boundary (diagnostic) "
+                f"(default {DEFAULT_SWITCH_THRESHOLD})",
             )
         p.set_defaults(fn=fn)
     return parser

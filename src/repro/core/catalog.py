@@ -56,6 +56,13 @@ class Catalog:
             raise SchemaError(f"source {name!r} already registered")
         self._sources[name] = stats
 
+    def remove_source(self, name: str) -> None:
+        """Drop a registered source (unknown names are a no-op).
+
+        Used by mid-query re-optimization to retire the synthetic
+        boundary sources of a finished staged execution."""
+        self._sources.pop(name, None)
+
     def declare_unique(self, *attributes: Attribute) -> None:
         """Declare that rows are unique on the given attribute set."""
         if not attributes:
@@ -72,6 +79,19 @@ class Catalog:
         self._refs.append(
             RefConstraint(frozenset(from_attrs), frozenset(to_attrs), total)
         )
+
+    def clone(self) -> "Catalog":
+        """Shallow copy: independent registries, shared stats objects.
+
+        Mid-query re-optimization overlays synthetic boundary sources on a
+        workload's catalog without mutating the original; constraints and
+        per-source stats are immutable in practice, so sharing them is safe.
+        """
+        out = Catalog()
+        out._sources = dict(self._sources)
+        out._unique_keys = set(self._unique_keys)
+        out._refs = list(self._refs)
+        return out
 
     # -- lookups ------------------------------------------------------------
 

@@ -88,6 +88,59 @@ class Source(Operator):
         return self.schema.as_set()
 
 
+class MaterializedSource(Source):
+    """A pipeline-stage boundary's materialized output, pinned as a source.
+
+    Mid-query re-optimization replaces every *executed* stage of a running
+    plan with one of these: the stage's buffered output partitions become a
+    scan-like leaf with **exact** cardinality, so suffix re-planning costs
+    the unexecuted remainder against ground truth instead of estimates.
+
+    The operator carries everything downstream layers need to stay sound
+    and exact without re-deriving it from the (no longer visible) executed
+    subtree:
+
+    * ``partitions`` — the engine hands these back verbatim: the handoff is
+      an in-memory checkpoint, charged zero scan time (the work that built
+      it was already charged when the stage ran);
+    * ``partitioning`` — the physical hash-partitioning the executed plan
+      established, seeded into the optimizer so a re-planned suffix can
+      forward into a compatible Reduce/Match instead of reshuffling;
+    * ``origin_signature`` — the logical signature of the replaced subtree,
+      so observations made on (and estimates looked up for) suffix nodes
+      transfer to the equivalent nodes of ordinary plans;
+    * ``unique_keys`` / ``preserves_rows`` / ``written_attrs`` — plan facts
+      *derived through* the executed subtree.  Catalog-declared constraints
+      describe base sources only; claiming them for an intermediate (which
+      may have dropped rows, fanned out, or overwritten attributes) could
+      legalize unsound reorderings, so the true derived facts travel with
+      the boundary instead.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: tuple[Attribute, ...],
+        partitions: list,
+        origin_signature: tuple,
+        partitioning: frozenset = frozenset(),
+        unique_keys: frozenset = frozenset(),
+        preserves_rows: bool = False,
+        written_attrs: frozenset[Attribute] = frozenset(),
+    ) -> None:
+        super().__init__(name, schema)
+        self.partitions = partitions
+        self.origin_signature = origin_signature
+        self.partitioning = partitioning
+        self.unique_keys = unique_keys
+        self.preserves_rows = preserves_rows
+        self.written_attrs = written_attrs
+
+    @property
+    def row_count(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+
 class Sink(Operator):
     """A data sink; ``wanted`` is the projection used for output comparison."""
 

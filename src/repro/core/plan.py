@@ -22,6 +22,7 @@ from .operators import (
     CrossOp,
     MapOp,
     MatchOp,
+    MaterializedSource,
     Operator,
     ReduceOp,
     Sink,
@@ -149,6 +150,34 @@ def _encode_signature(sig: tuple) -> str:
     if len(sig) == 1:
         return name
     return f"{name}({','.join(_encode_signature(c) for c in sig[1:])})"
+
+
+def resolved_signature(root: Node) -> tuple:
+    """Structural signature with materialized boundaries substituted back.
+
+    A :class:`~repro.core.operators.MaterializedSource` leaf stands for an
+    already-executed subtree; substituting its ``origin_signature`` yields
+    the signature the *equivalent ordinary plan* would have.  For plans
+    without materialized leaves this equals :func:`signature` exactly.
+    """
+    op = root.op
+    if isinstance(op, MaterializedSource):
+        return op.origin_signature
+    if not root.children:
+        return root.signature
+    return (op.name,) + tuple(resolved_signature(c) for c in root.children)
+
+
+def resolved_signature_key(root: Node) -> str:
+    """:func:`signature_key` over :func:`resolved_signature`.
+
+    This is the key under which runtime observations are stored and looked
+    up: a suffix node planned over a materialized stage boundary shares its
+    key with the same logical sub-flow in an ordinary plan, so statistics
+    learned mid-query transfer to future full-plan optimizations (and vice
+    versa).  Identical to :func:`signature_key` on ordinary plans.
+    """
+    return _encode_signature(resolved_signature(root))
 
 
 def replace_subtree(root: Node, old: Node, new: Node) -> Node:

@@ -11,7 +11,7 @@ both execution paths share one record-API implementation.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any
 
 from .errors import ExecutionError
 from .operators import (

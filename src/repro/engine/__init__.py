@@ -1,6 +1,6 @@
 """Simulated parallel execution engine (the Nephele substitute)."""
 
-from .executor import Engine, ExecutionResult, execute_physical
+from .executor import Engine, ExecutionResult, StageRun, execute_physical
 from .metrics import ExecutionReport, OpMetrics
 from .partition import (
     broadcast,
@@ -16,6 +16,7 @@ __all__ = [
     "ExecutionReport",
     "ExecutionResult",
     "OpMetrics",
+    "StageRun",
     "broadcast",
     "execute_physical",
     "gather",

@@ -46,6 +46,7 @@ from ..core.operators import (
     CrossOp,
     MapOp,
     MatchOp,
+    MaterializedSource,
     ReduceOp,
     Sink,
     Source,
@@ -61,7 +62,6 @@ from ..core.reference import (
 )
 from ..optimizer.cost import CostParams
 from ..optimizer.physical import (
-    LocalStrategy,
     PhysNode,
     Ship,
     ShipKind,
@@ -79,6 +79,19 @@ from .partition import (
 
 SourceData = dict[str, list[RawRecord]]
 
+_run_seq = 0
+
+
+def _next_run_id() -> str:
+    """Process-unique id for one engine execution (transient, never persisted).
+
+    Ties a staged execution's in-flight stage-delta observations to its
+    final whole-run observation, so the statistics store can refuse to
+    count the same (signature, run) twice."""
+    global _run_seq
+    _run_seq += 1
+    return f"run-{_run_seq}"
+
 
 @dataclass(slots=True)
 class ExecutionResult:
@@ -88,6 +101,24 @@ class ExecutionResult:
     @property
     def seconds(self) -> float:
         return self.report.seconds
+
+
+@dataclass(slots=True)
+class StageRun:
+    """One executed pipeline stage of a staged execution."""
+
+    index: int  # 0-based position in execution order, across switches
+    nodes: tuple[PhysNode, ...]  # (breaker, *fused chain), upstream-first
+    metrics: tuple[OpMetrics, ...]  # this stage's slice of the report
+    output: Partitions  # the stage's materialized output
+
+    @property
+    def top(self) -> PhysNode:
+        return self.nodes[-1]
+
+    @property
+    def rows_out(self) -> int:
+        return sum(len(p) for p in self.output)
 
 
 def _bytes_of(rows: list[RawRecord]) -> float:
@@ -144,6 +175,11 @@ class Engine:
             PhysNode, tuple[Partitions, tuple[OpMetrics, ...]]
         ] = {}
         self._cache_data: SourceData | None = None
+        # Stage-boundary checkpoints of the staged execution in flight:
+        # stage-top PhysNode -> materialized output partitions.  Consulted
+        # before any other resolution so already-executed stages are never
+        # re-run (and their metrics never re-reported) after a plan switch.
+        self._stage_results: dict[PhysNode, Partitions] | None = None
 
     def _cost_per_call(self, op_name: str) -> float:
         return self.true_costs.get(op_name, 1.0)
@@ -166,11 +202,113 @@ class Engine:
             self.collector.observe_execution(plan, report, self.true_costs)
         return result
 
+    def execute_staged(
+        self,
+        plan: PhysNode,
+        data: SourceData,
+        controller=None,
+    ) -> ExecutionResult:
+        """Execute ``plan`` stage-by-stage with optional mid-query switching.
+
+        The plan's :meth:`PhysNode.pipeline_stages` run one at a time in
+        execution order; each stage's output is checkpointed.  After every
+        stage that did real work (except the final one), ``controller.
+        on_boundary(engine=, plan=, stage=, completed=, run_id=)`` may
+        return a replacement physical plan for the *unexecuted suffix* —
+        its leaves are :class:`~repro.core.operators.MaterializedSource`
+        operators carrying the checkpointed partitions — and execution
+        continues under the new plan.  Checkpoint-handoff stages (a bare
+        materialized source) report no metrics and fire no boundary, so a
+        switch decision always follows actual progress.
+
+        With ``controller=None`` (or a controller that never switches)
+        records, per-operator metrics, and simulated seconds are
+        bit-identical to :meth:`execute` — pinned by the staged parity
+        suite.  The cross-plan subtree cache is bypassed for the duration:
+        stage checkpoints are this execution's only replay mechanism.
+        """
+        if not self.streaming:
+            raise ExecutionError(
+                "staged execution is defined over the streaming engine's "
+                "pipeline stages; use Engine(streaming=True)"
+            )
+        if self._stage_results is not None:
+            raise ExecutionError("staged execution is not re-entrant")
+        report = ExecutionReport()
+        run_id = _next_run_id()
+        stage_outputs: dict[PhysNode, Partitions] = {}
+        saved_reuse = self.reuse_subtree_results
+        self.reuse_subtree_results = False
+        self._stage_results = stage_outputs
+        current = plan
+        switched = False
+        parts: Partitions = []
+        try:
+            stage_index = 0
+            while True:
+                pending = [
+                    s
+                    for s in current.pipeline_stages()
+                    if s[-1] not in stage_outputs
+                ]
+                replanned = False
+                for pos, stage in enumerate(pending):
+                    top = stage[-1]
+                    stage_report = ExecutionReport()
+                    parts = self._run_subtree(top, data, stage_report)
+                    report.per_op.extend(stage_report.per_op)
+                    stage_outputs[top] = parts
+                    run = StageRun(
+                        index=stage_index,
+                        nodes=stage,
+                        metrics=tuple(stage_report.per_op),
+                        output=parts,
+                    )
+                    stage_index += 1
+                    last = pos == len(pending) - 1
+                    if controller is None or last or not run.metrics:
+                        continue
+                    replacement = controller.on_boundary(
+                        engine=self,
+                        plan=current,
+                        stage=run,
+                        completed=stage_outputs,
+                        run_id=run_id,
+                    )
+                    if replacement is not None:
+                        current = replacement
+                        switched = True
+                        replanned = True
+                        break
+                if not replanned:
+                    break
+            records = [dict(r) for r in gather(parts)]
+        finally:
+            self._stage_results = None
+            self.reuse_subtree_results = saved_reuse
+        result = ExecutionResult(records=records, report=report)
+        if self.collector is not None:
+            # A switched run is a hybrid of two plans: its metrics are
+            # real per-op observations (already keyed transferably), but
+            # its total seconds belong to no single plan — mark partial.
+            self.collector.observe_execution(
+                current, report, self.true_costs, run_id=run_id,
+                partial=switched,
+            )
+        return result
+
     # -- recursion -----------------------------------------------------------------
 
     def _run(
         self, node: PhysNode, data: SourceData, report: ExecutionReport
     ) -> Partitions:
+        if self._stage_results is not None:
+            # A completed stage of the staged execution: hand back the
+            # checkpoint without replaying metrics — they were reported
+            # once, when the stage actually ran.
+            checkpoint = self._stage_results.get(node)
+            if checkpoint is not None:
+                return checkpoint
         if not self.reuse_subtree_results:
             return self._run_subtree(node, data, report)
         hit = self._subtree_cache.get(node)
@@ -195,9 +333,14 @@ class Engine:
             # stops the descent, so shared chain prefixes replay instead
             # of re-executing.
             cache = self._subtree_cache if self.reuse_subtree_results else None
+            staged = self._stage_results
             chain = [node]
             below = node.children[0]
-            while pipelineable(below) and (cache is None or below not in cache):
+            while (
+                pipelineable(below)
+                and (cache is None or below not in cache)
+                and (staged is None or below not in staged)
+            ):
                 chain.append(below)
                 below = below.children[0]
             base = self._run(below, data, report)
@@ -267,6 +410,11 @@ class Engine:
     ) -> Partitions:
         op = node.logical.op
         params = self.params
+        if isinstance(op, MaterializedSource):
+            # Checkpointed stage handoff: the partitions were materialized
+            # (and their production charged) when the original stage ran,
+            # so re-reading them is free and reports no metrics.
+            return op.partitions
         if isinstance(op, Source):
             try:
                 rows = data[op.name]

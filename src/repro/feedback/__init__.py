@@ -17,11 +17,19 @@ from .adaptive import (
     ExecutedRound,
 )
 from .estimator import FeedbackEstimator, QErrorReport, merge_hints, qerror, qerror_report
+from .midquery import (
+    DEFAULT_SWITCH_THRESHOLD,
+    MidQueryExperiment,
+    MidQueryReoptimizer,
+    SwitchDecision,
+    run_midquery,
+)
 from .observation import (
     ExecutionObservation,
     ObservationCollector,
     OpObservation,
     observe_plan,
+    observe_stage,
 )
 from .store import NodeStats, PlanStats, SourceObservation, StatisticsStore
 
@@ -29,9 +37,12 @@ __all__ = [
     "AdaptiveOptimizer",
     "AdaptiveReport",
     "AdaptiveRound",
+    "DEFAULT_SWITCH_THRESHOLD",
     "ExecutedRound",
     "ExecutionObservation",
     "FeedbackEstimator",
+    "MidQueryExperiment",
+    "MidQueryReoptimizer",
     "NodeStats",
     "ObservationCollector",
     "OpObservation",
@@ -39,8 +50,11 @@ __all__ = [
     "QErrorReport",
     "SourceObservation",
     "StatisticsStore",
+    "SwitchDecision",
     "merge_hints",
     "observe_plan",
+    "observe_stage",
     "qerror",
     "qerror_report",
+    "run_midquery",
 ]

@@ -47,6 +47,11 @@ from ..optimizer.cost import CostParams
 from ..optimizer.optimizer import OptimizationResult, Optimizer, RankedPlan
 from ..workloads.base import Workload
 from .estimator import FeedbackEstimator, QErrorReport, qerror_report
+from .midquery import (
+    DEFAULT_SWITCH_THRESHOLD,
+    MidQueryReoptimizer,
+    SwitchDecision,
+)
 from .observation import ObservationCollector
 from .store import StatisticsStore
 
@@ -73,6 +78,9 @@ class AdaptiveRound:
     executed: list[ExecutedRound] = field(default_factory=list)
     qerror: QErrorReport = field(default_factory=lambda: QErrorReport({}))
     converged: bool = False
+    # Boundary decisions made while executing the deployed pick under
+    # mid-query re-optimization (empty when the feature is off).
+    midquery: list[SwitchDecision] = field(default_factory=list)
 
 
 @dataclass(slots=True)
@@ -99,6 +107,12 @@ class AdaptiveReport:
                 f"q-error median {r.qerror.median:.3f} max {r.qerror.max:.3f}"
                 f"{'  [converged]' if r.converged else ''}"
             )
+            if r.midquery:
+                switches = sum(1 for d in r.midquery if d.switched)
+                lines.append(
+                    f"    mid-query: {len(r.midquery)} boundaries, "
+                    f"{switches} switch(es)"
+                )
         return "\n".join(lines)
 
 
@@ -126,6 +140,8 @@ class AdaptiveOptimizer:
         picks: int = 5,
         streaming: bool = True,
         jobs: int = 1,
+        midquery: bool = False,
+        switch_threshold: float = DEFAULT_SWITCH_THRESHOLD,
     ) -> None:
         self.workload = workload
         self.store = store if store is not None else StatisticsStore()
@@ -155,6 +171,25 @@ class AdaptiveOptimizer:
         # estimator-view diff before each re-optimization.
         self.memo = self.optimizer.new_memo()
         self._view = self.store.estimator_view()
+        # In-flight path: when enabled, each round's deployed pick runs
+        # stage-by-stage with suffix re-optimization at every boundary;
+        # the controller shares this loop's store, so stage deltas land
+        # mid-run and the round's bulk ingest dedupes them by run id.
+        self.midquery: MidQueryReoptimizer | None = None
+        if midquery:
+            if not streaming:
+                raise FeedbackError(
+                    "mid-query re-optimization executes pipeline stages; "
+                    "it requires the streaming engine"
+                )
+            self.midquery = MidQueryReoptimizer(
+                workload.catalog,
+                workload.hints,
+                mode,
+                self.params,
+                store=self.store,
+                switch_threshold=switch_threshold,
+            )
 
     def _make_estimator(
         self, ctx: PlanContext, hints: dict[str, Hints]
@@ -194,9 +229,21 @@ class AdaptiveOptimizer:
 
         executed: list[ExecutedRound] = []
         seen: dict[str, ExecutedRound] = {}
+        mq_start = (
+            len(self.midquery.decisions) if self.midquery is not None else 0
+        )
 
         def execute(plan: RankedPlan) -> ExecutedRound:
-            result = self.engine.execute(plan.physical, self.workload.data)
+            if self.midquery is not None and plan.body is pick.body:
+                # The deployment runs stage-by-stage with in-flight suffix
+                # re-optimization; everything else stays a plain measured
+                # execution (switching an evaluation run would conflate
+                # exploration with the plan being measured).
+                result = self.engine.execute_staged(
+                    plan.physical, self.workload.data, self.midquery
+                )
+            else:
+                result = self.engine.execute(plan.physical, self.workload.data)
             run = ExecutedRound(plan=plan, seconds=result.seconds, result=result)
             executed.append(run)
             seen[_plan_key(plan.body)] = run
@@ -247,6 +294,11 @@ class AdaptiveOptimizer:
             pick_measured_rank=self._measured_rank(pick_seconds),
             executed=executed,
             qerror=qerror,
+            midquery=(
+                list(self.midquery.decisions[mq_start:])
+                if self.midquery is not None
+                else []
+            ),
         )
 
     # -- pick selection ----------------------------------------------------

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 from statistics import median
 
 from ..core.operators import Sink, Source, UdfOperator
-from ..core.plan import Node, iter_nodes, signature_key
+from ..core.plan import Node, iter_nodes, resolved_signature_key
 from ..optimizer.cardinality import CardinalityEstimator, EstStats, Hints
 from ..optimizer.context import PlanContext
 from .observation import ExecutionObservation
@@ -86,7 +86,10 @@ class FeedbackEstimator(CardinalityEstimator):
 
     def _estimate(self, node: Node) -> EstStats:
         if isinstance(node.op, UdfOperator):
-            stats = self.store.node_stats(signature_key(node))
+            # Resolved keys make observations transfer both ways across
+            # materialized stage boundaries (identical to the plain
+            # signature key for ordinary plans).
+            stats = self.store.node_stats(resolved_signature_key(node))
             if stats is not None:
                 # Children still estimate normally (their own observations
                 # apply recursively); the node's output is pinned to what
@@ -154,7 +157,7 @@ def qerror_report(
         if body is None:
             continue
         estimates = {
-            signature_key(n): estimator.estimate(n).rows
+            resolved_signature_key(n): estimator.estimate(n).rows
             for n in iter_nodes(body)
             if not isinstance(n.op, (Source, Sink))
         }

@@ -31,8 +31,9 @@ from ..core.operators import (
     Sink,
     Source,
 )
-from ..core.plan import signature_key
-from ..engine.metrics import ExecutionReport
+from ..core.plan import Node, resolved_signature_key
+from ..engine.executor import StageRun
+from ..engine.metrics import ExecutionReport, OpMetrics
 from ..optimizer.physical import PhysNode
 
 #: Operator kinds whose ``udf_calls`` count key groups — for these, one
@@ -80,17 +81,30 @@ class OpObservation:
 
 @dataclass(frozen=True, slots=True)
 class ExecutionObservation:
-    """Everything observed while executing one physical plan."""
+    """Everything observed while executing one physical plan.
+
+    ``run_id`` ties observations of the *same* engine execution together:
+    a staged execution emits one partial observation per completed stage
+    (ingested in flight) plus the usual whole-run observation at the end,
+    and the statistics store counts each (signature, run) only once.
+    ``partial`` marks stage deltas and switched hybrid runs, whose
+    ``seconds`` are not a whole-plan runtime and must not enter the
+    per-plan measured-runtime statistics.
+    """
 
     plan_key: str  # signature_key of the executed plan's logical body
     seconds: float  # measured (simulated) runtime of the whole plan
     ops: tuple[OpObservation, ...]
+    run_id: str | None = None  # shared by all observations of one execution
+    partial: bool = False  # a stage delta / hybrid run, not a full plan
 
 
 def observe_plan(
     plan: PhysNode,
     report: ExecutionReport,
     true_costs: dict[str, float] | None = None,
+    run_id: str | None = None,
+    partial: bool = False,
 ) -> ExecutionObservation:
     """Pair an execution report with the plan's logical structure.
 
@@ -107,8 +121,35 @@ def observe_plan(
         node = stack.pop()
         logical[node.logical.op.name] = node.logical
         stack.extend(node.children)
+    ops = _lift_ops(logical, report.per_op, true_costs)
+    # The sink contributes no metrics; key the plan by its logical body
+    # (sink stripped) so optimizer-ranked bodies and executed plans agree.
+    body = plan.logical
+    if isinstance(body.op, Sink):
+        body = body.only_child
+    return ExecutionObservation(
+        plan_key=resolved_signature_key(body),
+        seconds=report.seconds,
+        ops=tuple(ops),
+        run_id=run_id,
+        partial=partial,
+    )
+
+
+def _lift_ops(
+    logical: dict[str, Node],
+    per_op: list[OpMetrics] | tuple[OpMetrics, ...],
+    true_costs: dict[str, float],
+) -> list[OpObservation]:
+    """Lift metrics rows into signature-keyed observations.
+
+    Keys use :func:`~repro.core.plan.resolved_signature_key`, so a suffix
+    node executed over a materialized stage boundary is recorded under the
+    same key as the equivalent sub-flow of an ordinary plan (identical to
+    the plain signature key when no boundaries are involved).
+    """
     ops = []
-    for metrics in report.per_op:
+    for metrics in per_op:
         node = logical.get(metrics.name)
         if node is None:  # a metrics row for an op outside this plan
             continue
@@ -117,7 +158,7 @@ def observe_plan(
             continue
         ops.append(
             OpObservation(
-                key=signature_key(node),
+                key=resolved_signature_key(node),
                 op_name=metrics.name,
                 kind=kind,
                 rows_in=metrics.rows_in,
@@ -127,15 +168,34 @@ def observe_plan(
                 disk_bytes=metrics.disk_bytes if kind == "source" else 0.0,
             )
         )
-    # The sink contributes no metrics; key the plan by its logical body
-    # (sink stripped) so optimizer-ranked bodies and executed plans agree.
-    body = plan.logical
-    if isinstance(body.op, Sink):
-        body = body.only_child
+    return ops
+
+
+def observe_stage(
+    stage: StageRun,
+    true_costs: dict[str, float] | None = None,
+    run_id: str | None = None,
+) -> ExecutionObservation:
+    """Partial observation of one executed pipeline stage.
+
+    Covers exactly the stage's operators (breaker + fused chain) with the
+    metrics that stage reported; ``seconds`` is the stage's elapsed
+    simulated time, and the observation is marked ``partial`` so it never
+    enters whole-plan runtime statistics.  This is what mid-query
+    re-optimization ingests at each stage boundary.
+    """
+    true_costs = true_costs or {}
+    logical = {node.logical.op.name: node.logical for node in stage.nodes}
+    ops = _lift_ops(logical, stage.metrics, true_costs)
+    top = stage.top.logical
+    if isinstance(top.op, Sink):
+        top = top.only_child
     return ExecutionObservation(
-        plan_key=signature_key(body),
-        seconds=report.seconds,
+        plan_key=resolved_signature_key(top),
+        seconds=sum(m.seconds for m in stage.metrics),
         ops=tuple(ops),
+        run_id=run_id,
+        partial=True,
     )
 
 
@@ -155,8 +215,21 @@ class ObservationCollector:
         plan: PhysNode,
         report: ExecutionReport,
         true_costs: dict[str, float] | None = None,
+        run_id: str | None = None,
+        partial: bool = False,
     ) -> ExecutionObservation:
-        observation = observe_plan(plan, report, true_costs)
+        observation = observe_plan(plan, report, true_costs, run_id, partial)
+        self.executions.append(observation)
+        return observation
+
+    def observe_stage(
+        self,
+        stage: StageRun,
+        true_costs: dict[str, float] | None = None,
+        run_id: str | None = None,
+    ) -> ExecutionObservation:
+        """Record a partial observation of one executed pipeline stage."""
+        observation = observe_stage(stage, true_costs, run_id)
         self.executions.append(observation)
         return observation
 

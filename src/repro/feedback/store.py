@@ -112,6 +112,13 @@ class StatisticsStore:
     nodes: dict[str, NodeStats] = field(default_factory=dict)
     sources: dict[str, SourceObservation] = field(default_factory=dict)
     plans: dict[str, PlanStats] = field(default_factory=dict)
+    # Transient (never persisted): run id -> signature keys already folded
+    # in for that engine execution.  A staged execution ingests each
+    # stage's delta in flight and then the whole-run observation at the
+    # end; without this, every stage op would be EMA-folded twice per run.
+    _run_ingested: dict[str, set[str]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if not (0.0 < self.decay <= 1.0):
@@ -124,11 +131,37 @@ class StatisticsStore:
 
     # -- ingestion ---------------------------------------------------------
 
+    #: Run-dedupe sets retained at once; staged runs ingest their deltas
+    #: immediately, so old runs' sets are dead weight after a handful of
+    #: executions.
+    _RUN_DEDUP_LIMIT = 64
+
     def ingest(self, execution: ExecutionObservation) -> None:
-        """Fold one execution's observations into the aggregates."""
+        """Fold one execution's observations into the aggregates.
+
+        Observations carrying a ``run_id`` are deduplicated per
+        (signature, run): an operator already ingested for that engine
+        execution — e.g. by an in-flight stage delta — is skipped when the
+        same execution's whole-run observation arrives, so mid-query
+        ingestion never double-counts.  ``partial`` observations (stage
+        deltas, switched hybrid runs) update node and source statistics
+        but never the per-plan measured runtimes: their ``seconds`` are
+        not a whole-plan runtime.
+        """
         self.version += 1
         w = self.decay
+        ingested: set[str] | None = None
+        if execution.run_id is not None:
+            ingested = self._run_ingested.get(execution.run_id)
+            if ingested is None:
+                while len(self._run_ingested) >= self._RUN_DEDUP_LIMIT:
+                    self._run_ingested.pop(next(iter(self._run_ingested)))
+                ingested = self._run_ingested[execution.run_id] = set()
         for obs in execution.ops:
+            if ingested is not None:
+                if obs.key in ingested:
+                    continue
+                ingested.add(obs.key)
             if obs.kind == "source":
                 src = self.sources.get(obs.op_name)
                 if src is None:
@@ -151,6 +184,8 @@ class StatisticsStore:
             node.cpu_per_call = _ema(node.cpu_per_call, obs.cpu_per_call, w, first)
             node.runs += 1
             node.last_seen = self.version
+        if execution.partial:
+            return
         plan = self.plans.get(execution.plan_key)
         if plan is None:
             plan = PlanStats(key=execution.plan_key)

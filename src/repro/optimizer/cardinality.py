@@ -13,13 +13,13 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..core.catalog import Catalog
 from ..core.errors import OptimizationError
 from ..core.operators import (
     CoGroupOp,
     CrossOp,
     MapOp,
     MatchOp,
+    MaterializedSource,
     ReduceOp,
     Sink,
     Source,
@@ -111,6 +111,9 @@ class CardinalityEstimator:
     def source_rows(self, op: Source) -> float:
         """Row count of a source scan; the feedback estimator overrides
         this with observed cardinalities."""
+        if isinstance(op, MaterializedSource):
+            # An executed stage boundary has an exact, counted cardinality.
+            return float(op.row_count)
         return float(self.catalog.stats(op.name).row_count)
 
     def _width(self, node: Node) -> float:

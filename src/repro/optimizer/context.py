@@ -18,6 +18,7 @@ from ..core.operators import (
     CrossOp,
     MapOp,
     MatchOp,
+    MaterializedSource,
     Operator,
     ReduceOp,
     Sink,
@@ -110,6 +111,11 @@ class PlanContext:
 
     def _derive_unique(self, node: Node) -> frozenset[frozenset[Attribute]]:
         op = node.op
+        if isinstance(op, MaterializedSource):
+            # An executed stage boundary: catalog-declared keys describe
+            # base sources, not intermediates — use the uniqueness that was
+            # derived *through* the executed subtree instead.
+            return frozenset(op.unique_keys)
         if isinstance(op, Source):
             return frozenset(self.catalog.source_unique_keys(op.output_attrs()))
         if isinstance(op, Sink):
@@ -183,7 +189,10 @@ class PlanContext:
         if cached is not None:
             return cached
         op = node.op
-        if isinstance(op, Source):
+        if isinstance(op, MaterializedSource):
+            # Derived through the executed subtree, not assumed.
+            result = op.preserves_rows
+        elif isinstance(op, Source):
             result = True
         elif isinstance(op, Sink):
             result = self.row_preserving(node.only_child)
@@ -234,6 +243,9 @@ class PlanContext:
         self, key: frozenset[Attribute], node: Node
     ) -> bool:
         """Do any operators in the sub-flow modify the given key attributes?"""
+        if isinstance(node.op, MaterializedSource):
+            # The executed subtree's write set travels with the boundary.
+            return bool(node.op.written_attrs & key)
         if isinstance(node.op, UdfOperator):
             if self.props(node.op).writes & key:
                 return True

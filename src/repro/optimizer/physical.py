@@ -37,10 +37,10 @@ from ..core.operators import (
     CrossOp,
     MapOp,
     MatchOp,
+    MaterializedSource,
     ReduceOp,
     Sink,
     Source,
-    UdfOperator,
 )
 from ..core.plan import Node
 from ..core.schema import Attribute
@@ -344,6 +344,16 @@ class PhysicalOptimizer:
 
     def _source(self, node: Node) -> PhysNode:
         est = self.est.estimate(node)
+        op = node.op
+        if isinstance(op, MaterializedSource):
+            # An executed stage boundary: the data is an in-memory
+            # checkpoint whose production was charged when the stage ran,
+            # so re-reading it is free, and it arrives already hash-
+            # partitioned however the executed plan left it.
+            return self._wrap(
+                node, est, (), LocalStrategy.SCAN, None, (), 0.0,
+                op.partitioning,
+            )
         cost = self.params.disk_seconds(est.bytes)
         return self._wrap(
             node, est, (), LocalStrategy.SCAN, None, (), cost, RANDOM

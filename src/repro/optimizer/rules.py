@@ -23,7 +23,6 @@ from typing import Iterator
 from ..core.operators import (
     CoGroupOp,
     CrossOp,
-    MapOp,
     MatchOp,
     ReduceOp,
     UdfOperator,

@@ -34,7 +34,6 @@ from .tac import (
     SetField,
     TACFunction,
     UnOp,
-    Var,
 )
 
 _BINOPS = {

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from ..core.catalog import Catalog
 from ..core.operators import MapOp, MatchOp, ReduceOp, Sink, Source
-from ..core.plan import Node, node
+from ..core.plan import node
 from ..core.properties import EmitBounds, FieldSet, KatBehavior, UdfProperties
 from ..core.schema import FieldMap, prefixed
 from ..core.udf import binary_udf, map_udf, reduce_udf

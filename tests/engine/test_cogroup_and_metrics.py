@@ -9,7 +9,6 @@ from repro.core import (
     SourceStats,
     attrs,
     cogroup_udf,
-    datasets_equal,
     evaluate,
     projected_equal,
     node,

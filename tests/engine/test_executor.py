@@ -6,16 +6,13 @@ import pytest
 from repro.core import (
     AnnotationMode,
     Catalog,
-    EmitBounds,
     FieldMap,
-    FieldSet,
     MapOp,
     MatchOp,
     ReduceOp,
     Sink,
     Source,
     SourceStats,
-    UdfProperties,
     attrs,
     binary_udf,
     chain,

@@ -1,0 +1,141 @@
+"""Regression: in-flight stage deltas must not be double-counted.
+
+A staged execution ingests each stage's observation delta the moment the
+stage finishes, and the same execution's whole-run observation is
+ingested afterwards (by the adaptive loop's bulk ingest, or a driver
+re-reading the collector).  Ingestion dedupes by (signature, run-id):
+the EMA aggregates must end up exactly as if every operator had been
+observed once per execution.
+"""
+
+import math
+
+from repro.datagen import ClickScale
+from repro.feedback import (
+    ExecutionObservation,
+    OpObservation,
+    StatisticsStore,
+    run_midquery,
+)
+from repro.workloads import build_clickstream
+
+
+def op_obs(key, rows_out=100, udf_calls=40):
+    return OpObservation(
+        key=key,
+        op_name=key,
+        kind="map",
+        rows_in=rows_out,
+        rows_out=rows_out,
+        udf_calls=udf_calls,
+        cpu_per_call=1.0,
+        disk_bytes=0.0,
+    )
+
+
+class TestRunIdDedupe:
+    def test_stage_delta_then_whole_run_counts_each_op_once(self):
+        store = StatisticsStore()
+        delta = ExecutionObservation(
+            plan_key="b(a)",
+            seconds=1.0,
+            ops=(op_obs("a"),),
+            run_id="run-1",
+            partial=True,
+        )
+        whole = ExecutionObservation(
+            plan_key="b(a)",
+            seconds=5.0,
+            ops=(op_obs("a"), op_obs("b(a)", rows_out=10, udf_calls=10)),
+            run_id="run-1",
+        )
+        store.ingest(delta)
+        store.ingest(whole)
+
+        reference = StatisticsStore()
+        reference.ingest(
+            ExecutionObservation(
+                plan_key="b(a)",
+                seconds=5.0,
+                ops=(op_obs("a"), op_obs("b(a)", rows_out=10, udf_calls=10)),
+            )
+        )
+        for key in ("a", "b(a)"):
+            got, want = store.nodes[key], reference.nodes[key]
+            assert got.runs == want.runs == 1
+            assert got.rows_out == want.rows_out
+            assert got.udf_calls == want.udf_calls
+        assert store.plans["b(a)"].seconds == 5.0
+        assert store.plans["b(a)"].runs == 1
+
+    def test_without_run_id_repeated_ingests_still_aggregate(self):
+        """Distinct executions (no run id) keep the pre-existing EMA
+        behavior: every ingest counts."""
+        store = StatisticsStore()
+        observation = ExecutionObservation(
+            plan_key="a", seconds=1.0, ops=(op_obs("a"),)
+        )
+        store.ingest(observation)
+        store.ingest(observation)
+        assert store.nodes["a"].runs == 2
+
+    def test_distinct_runs_are_not_deduped_against_each_other(self):
+        store = StatisticsStore()
+        for run in ("run-1", "run-2"):
+            store.ingest(
+                ExecutionObservation(
+                    plan_key="a",
+                    seconds=1.0,
+                    ops=(op_obs("a"),),
+                    run_id=run,
+                )
+            )
+        assert store.nodes["a"].runs == 2
+
+    def test_partial_observations_never_record_plan_runtimes(self):
+        store = StatisticsStore()
+        store.ingest(
+            ExecutionObservation(
+                plan_key="a",
+                seconds=123.0,
+                ops=(op_obs("a"),),
+                run_id="run-1",
+                partial=True,
+            )
+        )
+        assert store.plans == {}
+        assert store.nodes["a"].runs == 1
+
+    def test_dedupe_state_is_transient(self):
+        store = StatisticsStore()
+        store.ingest(
+            ExecutionObservation(
+                plan_key="a",
+                seconds=1.0,
+                ops=(op_obs("a"),),
+                run_id="run-1",
+                partial=True,
+            )
+        )
+        reloaded = StatisticsStore.from_dict(store.to_dict())
+        assert reloaded.nodes["a"].rows_out == store.nodes["a"].rows_out
+        assert reloaded._run_ingested == {}
+
+
+class TestStagedRunEndToEnd:
+    def test_staged_execution_ingests_every_operator_exactly_once(self):
+        """The full in-flight path: stage deltas land mid-run, the bulk
+        ingest replays them plus the whole-run observation — and every
+        operator of the plan still aggregates exactly one run."""
+        workload = build_clickstream(ClickScale(sessions=250))
+        store = StatisticsStore()
+        run_midquery(workload, store=store, switch_threshold=math.inf)
+        # Four UDF operators plus three source scans were executed; each
+        # stage's delta was ingested in flight and then replayed by the
+        # bulk ingest — every aggregate must still count exactly one run.
+        assert len(store.nodes) == 4
+        for key, stats in store.nodes.items():
+            assert stats.runs == 1, key
+        assert len(store.sources) == 3
+        for source in store.sources.values():
+            assert source.runs == 1

@@ -1,7 +1,6 @@
 """StatisticsStore persistence: persist -> reload -> re-optimize must be
 deterministic, and malformed stores must fail with clear errors."""
 
-import json
 
 import pytest
 

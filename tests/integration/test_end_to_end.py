@@ -13,7 +13,6 @@ from repro.engine import Engine
 from repro.optimizer import Optimizer
 from repro.workloads import (
     build_clickstream,
-    build_q7,
     build_q15,
     build_textmining,
 )

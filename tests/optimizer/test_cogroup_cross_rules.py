@@ -21,7 +21,6 @@ from repro.core import (
     node,
     reduce_udf,
 )
-from repro.core.plan import linearize
 from repro.optimizer import (
     PlanContext,
     can_exchange_unary_binary,
@@ -68,8 +67,6 @@ class TestCoGroupIsAReorderBarrier:
                 out.emit(rec.copy())
 
         cg = make_cogroup()
-        extended = L + S + (cg.new_attr_factory.attr_for(4),)
-        above = MapOp("fa", map_udf(key_filter), FieldMap(extended))
         below = MapOp("fb", map_udf(key_filter), FieldMap(L))
         # Right-only groups: keys present in S but filtered from L.
         data = {

@@ -10,7 +10,6 @@ and that the whole pipeline composes with the feedback loop and CLI.
 """
 
 import multiprocessing
-import os
 
 import pytest
 

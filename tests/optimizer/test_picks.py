@@ -1,7 +1,5 @@
 """The rank-pick protocol (Figures 5/6): endpoint coverage and edge counts."""
 
-import pytest
-
 from repro.core import AnnotationMode
 from repro.datagen import TpchScale
 from repro.optimizer import Optimizer

@@ -1,7 +1,5 @@
 """Swap rules: Theorems 1-4 and Lemma 1 as pairwise legality checks."""
 
-import pytest
-
 from repro.core import (
     AnnotationMode,
     Catalog,
@@ -17,7 +15,7 @@ from repro.core import (
     node,
     reduce_udf,
 )
-from repro.core.plan import linearize, render_inline
+from repro.core.plan import linearize
 from repro.optimizer import (
     PlanContext,
     can_exchange_unary_binary,

@@ -35,8 +35,8 @@ class TestTpch:
         assert all(s["nationkey"] in nations for s in data.supplier)
         assert all(c["nationkey"] in nations for c in data.customer)
         assert all(o["custkey"] in customers for o in data.orders)
-        assert all(l["orderkey"] in orders for l in data.lineitem)
-        assert all(l["suppkey"] in suppliers for l in data.lineitem)
+        assert all(li["orderkey"] in orders for li in data.lineitem)
+        assert all(li["suppkey"] in suppliers for li in data.lineitem)
 
     def test_keys_unique(self):
         data = generate_tpch(TpchScale(suppliers=10, customers=10, orders=50))
@@ -46,7 +46,7 @@ class TestTpch:
     def test_shipdate_after_orderdate(self):
         data = generate_tpch(TpchScale(orders=50))
         order_dates = {o["orderkey"]: o["orderdate"] for o in data.orders}
-        assert all(l["shipdate"] > order_dates[l["orderkey"]] for l in data.lineitem)
+        assert all(li["shipdate"] > order_dates[li["orderkey"]] for li in data.lineitem)
 
     def test_scaled(self):
         scale = TpchScale().scaled(0.1)
@@ -60,7 +60,7 @@ class TestClickstream:
 
     def test_login_unique_per_session(self):
         data = generate_clickstream(ClickScale(sessions=200))
-        session_ids = [l["session_id"] for l in data.logins]
+        session_ids = [login["session_id"] for login in data.logins]
         assert len(session_ids) == len(set(session_ids))
 
     def test_users_unique_and_selective(self):
