@@ -51,8 +51,13 @@ def test_engine_throughput(results_dir):
 
     report = {"workload": workload.name, "scale_factor": SCALE_FACTOR}
     results = {}
-    for mode, streaming in (("streaming", True), ("materializing", False)):
-        engine = Engine(workload.params, workload.true_costs, streaming=streaming)
+    modes = (
+        ("streaming", dict(streaming=True)),
+        ("materializing", dict(streaming=False)),
+        ("parallel", dict(streaming=True, engine_jobs=4)),
+    )
+    for mode, engine_kwargs in modes:
+        engine = Engine(workload.params, workload.true_costs, **engine_kwargs)
         engine.execute(plan, workload.data)  # warm one-time caches
         result, seconds, peak_bytes = _measure(engine, plan, workload.data)
         rows = result.report.rows_scanned
@@ -68,9 +73,20 @@ def test_engine_throughput(results_dir):
     # The streaming path is a pure scheduling change: bit-identical output.
     assert results["streaming"].records == results["materializing"].records
     assert results["streaming"].seconds == results["materializing"].seconds
+    # So is the partition-parallel worker pool.
+    assert results["parallel"].records == results["streaming"].records
+    assert results["parallel"].seconds == results["streaming"].seconds
 
     stream, mat = report["streaming"], report["materializing"]
     report["throughput_ratio"] = stream["rows_per_sec"] / mat["rows_per_sec"]
+    # Trajectory only (bench_soak gates it at soak scale on multicore
+    # hosts): serial vs engine_jobs=4 wall-clock on this chain.  At this
+    # smoke scale on few-core runners the pool's fork overhead can win,
+    # so no assert here.
+    report["parallel_speedup"] = (
+        report["parallel"]["rows_per_sec"] / stream["rows_per_sec"]
+    )
+    report["parallel_engine_jobs"] = 4
     # Peak transient allocation bounds the datagen scale runnable at a
     # fixed memory budget; its inverse ratio is the scale-capacity gain.
     report["peak_memory_ratio"] = (

@@ -56,6 +56,14 @@ HEADLINES: dict[str, Headline] = {
     "engine_throughput.json": Headline(
         ("peak_memory_ratio",), True, "materializing/streaming peak bytes"
     ),
+    # Parallel-backend soak: speedup over serial normalized by the ideal
+    # speedup min(jobs, cores) — machine-relative, so one committed
+    # baseline gates 1-core and 16-core runners alike.
+    "soak.json": Headline(
+        ("parallel_efficiency",),
+        True,
+        "soak speedup / min(engine_jobs, cores)",
+    ),
     # Final-round median q-error on the headline workload: deterministic.
     "feedback_qerror.json": Headline(
         ("workloads", "clickstream", "rounds", -1, "qerror_median"),

@@ -81,6 +81,7 @@ def run_experiment(
     jobs: int = 1,
     midquery: bool = False,
     switch_threshold: float = DEFAULT_SWITCH_THRESHOLD,
+    engine_jobs: int = 1,
 ) -> ExperimentOutcome:
     """Optimize a workload, execute rank-picked plans, collect the outcome.
 
@@ -101,18 +102,27 @@ def run_experiment(
     lands in ``outcome.midquery``.  Under feedback rounds, each round's
     deployed pick runs that way instead and the boundary decisions land
     on the round reports.
+
+    ``engine_jobs > 1`` executes each plan's pipeline-stage partitions
+    across a fork-based worker pool; records, per-op metrics, and modeled
+    seconds are bit-identical to serial execution.
     """
     if feedback_rounds > 0 or stats_store is not None:
         return _run_feedback_experiment(
             workload, picks, mode, params, execute_all, feedback_rounds,
-            stats_store, jobs, midquery, switch_threshold,
+            stats_store, jobs, midquery, switch_threshold, engine_jobs,
         )
     params = params or workload.params
     optimizer = Optimizer(workload.catalog, workload.hints, mode, params, jobs=jobs)
     result = optimizer.optimize(workload.plan)
     # Rank-picked plans share most of their physical subtrees; reuse
     # their deterministic execution results across the picks.
-    engine = Engine(params, workload.true_costs, reuse_subtree_results=True)
+    engine = Engine(
+        params,
+        workload.true_costs,
+        reuse_subtree_results=True,
+        engine_jobs=engine_jobs,
+    )
 
     outcome = ExperimentOutcome(
         workload=workload.name,
@@ -147,6 +157,7 @@ def run_experiment(
             baseline=(
                 outcome.executed[0].result if outcome.executed else None
             ),
+            engine_jobs=engine_jobs,
         )
     return outcome
 
@@ -162,6 +173,7 @@ def _run_feedback_experiment(
     jobs: int = 1,
     midquery: bool = False,
     switch_threshold: float = DEFAULT_SWITCH_THRESHOLD,
+    engine_jobs: int = 1,
 ) -> ExperimentOutcome:
     """The Section 7.3 protocol driven through the adaptive feedback loop."""
     params = params or workload.params
@@ -176,6 +188,7 @@ def _run_feedback_experiment(
     adaptive = AdaptiveOptimizer(
         workload, store=store, mode=mode, params=params, picks=picks,
         jobs=jobs, midquery=midquery, switch_threshold=switch_threshold,
+        engine_jobs=engine_jobs,
     )
     report = adaptive.run(feedback_rounds)
     final = report.final
@@ -225,6 +238,9 @@ def execute_plan(
     workload: Workload,
     plan: RankedPlan,
     params: CostParams | None = None,
+    engine_jobs: int = 1,
 ) -> ExecutionResult:
-    engine = Engine(params or workload.params, workload.true_costs)
+    engine = Engine(
+        params or workload.params, workload.true_costs, engine_jobs=engine_jobs
+    )
     return engine.execute(plan.physical, workload.data)

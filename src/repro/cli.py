@@ -9,6 +9,7 @@ Usage::
     python -m repro experiment tpch_q7 --scale 10
     python -m repro experiment clickstream --feedback-rounds 2 --stats-store stats.json
     python -m repro experiment tpch_q7 --jobs 4
+    python -m repro experiment textmining --scale 400 --engine-jobs 4
     python -m repro experiment clickstream --midquery --switch-threshold 1.1
 """
 
@@ -92,6 +93,7 @@ def cmd_experiment(args) -> int:
         jobs=args.jobs,
         midquery=args.midquery,
         switch_threshold=args.switch_threshold,
+        engine_jobs=args.engine_jobs,
     )
     print(render_figure(outcome, f"Experiment — {workload.name}"))
     if outcome.feedback is not None:
@@ -103,6 +105,13 @@ def cmd_experiment(args) -> int:
         print()
         print(outcome.midquery.describe())
     return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be an integer >= 1")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -156,6 +165,17 @@ def build_parser() -> argparse.ArgumentParser:
                 metavar="N",
                 help="worker processes for plan costing (fork-based; "
                 "results are bit-identical to --jobs 1)",
+            )
+            p.add_argument(
+                "--engine-jobs",
+                type=_positive_int,
+                default=1,
+                metavar="N",
+                help="worker processes for partition-parallel stage "
+                "execution (fork-based; records, metrics, and modeled "
+                "seconds are bit-identical to --engine-jobs 1; falls "
+                "back to serial with a warning where fork is "
+                "unavailable)",
             )
             p.add_argument(
                 "--midquery",

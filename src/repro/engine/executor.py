@@ -38,6 +38,8 @@ path, kept as the parity reference.
 from __future__ import annotations
 
 import math
+import time
+import warnings
 from dataclasses import dataclass
 
 from ..core.errors import ExecutionError
@@ -52,14 +54,6 @@ from ..core.operators import (
     Source,
 )
 from ..core.record import RawRecord, record_bytes
-from ..core.reference import (
-    apply_cogroup,
-    apply_cross,
-    apply_map,
-    apply_match,
-    apply_reduce,
-    group_by,
-)
 from ..optimizer.cost import CostParams
 from ..optimizer.physical import (
     PhysNode,
@@ -67,7 +61,9 @@ from ..optimizer.physical import (
     ShipKind,
     pipelineable,
 )
+from . import parallel as _pool
 from .metrics import ExecutionReport, OpMetrics
+from .parallel import ScatteredOutput, ScatterSpec
 from .partition import (
     Partitions,
     broadcast,
@@ -111,6 +107,7 @@ class StageRun:
     nodes: tuple[PhysNode, ...]  # (breaker, *fused chain), upstream-first
     metrics: tuple[OpMetrics, ...]  # this stage's slice of the report
     output: Partitions  # the stage's materialized output
+    wall_seconds: float = 0.0  # measured wall-clock, not modeled time
 
     @property
     def top(self) -> PhysNode:
@@ -159,12 +156,31 @@ class Engine:
         streaming: bool = True,
         stream_batch_rows: int = 1024,
         collector: "ObservationCollector | None" = None,
+        engine_jobs: int = 1,
     ) -> None:
         self.params = params or CostParams()
         self.true_costs = true_costs or {}
         self.reuse_subtree_results = reuse_subtree_results
         self.streaming = streaming
         self.stream_batch_rows = max(1, stream_batch_rows)
+        if not isinstance(engine_jobs, int) or engine_jobs < 1:
+            raise ExecutionError(
+                f"engine_jobs must be an integer >= 1, got {engine_jobs!r}"
+            )
+        if engine_jobs > 1 and not _pool.available():
+            warnings.warn(
+                f"engine_jobs={engine_jobs} requires fork-based process "
+                "pools, which this platform does not provide; executing "
+                "serially instead",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            engine_jobs = 1
+        self.engine_jobs = engine_jobs
+        # Measured (top node name, wall seconds) per stage of the most
+        # recent execute_staged() run — the hardware-time axis the soak
+        # bench reports; modeled seconds live in the ExecutionReport.
+        self.last_stage_walls: list[tuple[str, float]] = []
         # Optional runtime-statistics hook (the feedback subsystem's
         # ObservationCollector): notified once per execute() with the plan
         # and the finished report, covering every stage boundary — fused
@@ -236,6 +252,7 @@ class Engine:
             raise ExecutionError("staged execution is not re-entrant")
         report = ExecutionReport()
         run_id = _next_run_id()
+        self.last_stage_walls = []
         stage_outputs: dict[PhysNode, Partitions] = {}
         saved_reuse = self.reuse_subtree_results
         self.reuse_subtree_results = False
@@ -255,7 +272,10 @@ class Engine:
                 for pos, stage in enumerate(pending):
                     top = stage[-1]
                     stage_report = ExecutionReport()
+                    wall_start = time.perf_counter()
                     parts = self._run_subtree(top, data, stage_report)
+                    wall = time.perf_counter() - wall_start
+                    self.last_stage_walls.append((top.name, wall))
                     report.per_op.extend(stage_report.per_op)
                     stage_outputs[top] = parts
                     run = StageRun(
@@ -263,6 +283,7 @@ class Engine:
                         nodes=stage,
                         metrics=tuple(stage_report.per_op),
                         output=parts,
+                        wall_seconds=wall,
                     )
                     stage_index += 1
                     last = pos == len(pending) - 1
@@ -300,8 +321,18 @@ class Engine:
     # -- recursion -----------------------------------------------------------------
 
     def _run(
-        self, node: PhysNode, data: SourceData, report: ExecutionReport
+        self,
+        node: PhysNode,
+        data: SourceData,
+        report: ExecutionReport,
+        scatter: ScatterSpec | None = None,
     ) -> Partitions:
+        # ``scatter`` is a downstream partition-ship's request to have
+        # this subtree's producing workers hash-scatter their output
+        # straight into the ship's target buckets (breaker -> ship
+        # streaming).  It is only ever set inside a parallel region and
+        # never when the output is also a cache or checkpoint candidate,
+        # so the memoized paths below always see plain partitions.
         if self._stage_results is not None:
             # A completed stage of the staged execution: hand back the
             # checkpoint without replaying metrics — they were reported
@@ -310,7 +341,7 @@ class Engine:
             if checkpoint is not None:
                 return checkpoint
         if not self.reuse_subtree_results:
-            return self._run_subtree(node, data, report)
+            return self._run_subtree(node, data, report, scatter)
         hit = self._subtree_cache.get(node)
         if hit is not None:
             parts, metrics = hit
@@ -323,7 +354,11 @@ class Engine:
         return parts
 
     def _run_subtree(
-        self, node: PhysNode, data: SourceData, report: ExecutionReport
+        self,
+        node: PhysNode,
+        data: SourceData,
+        report: ExecutionReport,
+        scatter: ScatterSpec | None = None,
     ) -> Partitions:
         if self.streaming and pipelineable(node):
             # Fused stage chain: collect the forward-shipped Maps (and
@@ -345,8 +380,8 @@ class Engine:
                 below = below.children[0]
             base = self._run(below, data, report)
             chain.reverse()
-            return self._run_chain(chain, base, report)
-        return self._run_breaker(node, data, report)
+            return self._run_chain(chain, base, report, scatter)
+        return self._run_breaker(node, data, report, scatter)
 
     # -- fused map chains ---------------------------------------------------------
 
@@ -355,6 +390,7 @@ class Engine:
         chain: list[PhysNode],
         base: Partitions,
         report: ExecutionReport,
+        scatter: ScatterSpec | None = None,
     ) -> Partitions:
         """Stream partitions through a fused chain of Map operators.
 
@@ -364,6 +400,11 @@ class Engine:
         the materializing path derives from full partitions, keeping the
         reported metrics bit-identical.  A Sink in the chain collects
         without transforming or reporting, as on the materializing path.
+
+        With ``engine_jobs > 1`` the per-partition streaming loops run
+        across the fork pool; workers ship back rows and integer counts,
+        and the metric arithmetic below consumes them in partition order
+        exactly as the serial loop fills them.
         """
         stages = [
             (n, n.logical.op) for n in chain if not isinstance(n.logical.op, Sink)
@@ -371,21 +412,24 @@ class Engine:
         if not stages:
             return base
         degree = len(base)
-        in_rows = [[0] * degree for _ in stages]
-        out_rows = [[0] * degree for _ in stages]
-        out = empty_partitions(degree)
         batch = self.stream_batch_rows
-        for i, rows in enumerate(base):
-            collected = out[i]
-            for start in range(0, len(rows), batch):
-                cur = rows[start : start + batch]
-                for k, (_, op) in enumerate(stages):
-                    if not cur:
-                        break
-                    in_rows[k][i] += len(cur)
-                    cur = apply_map(op, cur)
-                    out_rows[k][i] += len(cur)
-                collected.extend(cur)
+        ops = [(op.name, op) for _, op in stages]
+        if self.engine_jobs > 1:
+            out, in_rows, out_rows = _pool.run_chain(
+                ops, base, batch, scatter, self.engine_jobs
+            )
+        else:
+            in_rows = [[0] * degree for _ in stages]
+            out_rows = [[0] * degree for _ in stages]
+            out = empty_partitions(degree)
+            for i, rows in enumerate(base):
+                collected, part_in, part_out = _pool.run_chain_partition(
+                    ops, rows, batch
+                )
+                out[i] = collected
+                for k in range(len(stages)):
+                    in_rows[k][i] = part_in[k]
+                    out_rows[k][i] = part_out[k]
         params = self.params
         for k, (stage_node, op) in enumerate(stages):
             metrics = OpMetrics(name=op.name, strategy=stage_node.local.value)
@@ -406,7 +450,11 @@ class Engine:
     # -- pipeline breakers --------------------------------------------------------
 
     def _run_breaker(
-        self, node: PhysNode, data: SourceData, report: ExecutionReport
+        self,
+        node: PhysNode,
+        data: SourceData,
+        report: ExecutionReport,
+        scatter: ScatterSpec | None = None,
     ) -> Partitions:
         op = node.logical.op
         params = self.params
@@ -430,7 +478,27 @@ class Engine:
         if isinstance(op, Sink):
             return self._run(node.children[0], data, report)
 
-        inputs = [self._run(child, data, report) for child in node.children]
+        # Inside a parallel region (and only when neither the subtree
+        # cache nor staged checkpoints will hold the producer's output),
+        # ask each hash-partition-shipped child to stream its output
+        # straight into the ship's scatter instead of buffering the
+        # pre-ship partitions first.
+        want_scatter = (
+            self.engine_jobs > 1
+            and not self.reuse_subtree_results
+            and self._stage_results is None
+        )
+        inputs = []
+        for i, child in enumerate(node.children):
+            child_ship = node.ships[i]
+            spec: ScatterSpec | None = None
+            if (
+                want_scatter
+                and child_ship.kind is ShipKind.PARTITION
+                and child_ship.key is not None
+            ):
+                spec = (child_ship.key, params.degree)
+            inputs.append(self._run(child, data, report, spec))
         metrics = OpMetrics(
             name=op.name,
             strategy=node.local.value,
@@ -443,17 +511,33 @@ class Engine:
         shipped_sizes: list[list[float] | None] = []
         for i in range(len(inputs)):
             ship = node.ships[i]
+            inp = inputs[i]
+            if isinstance(inp, ScatteredOutput):
+                # The producing workers already routed this input through
+                # the ship's hash-scatter; charge the shuffle from the
+                # primitives they shipped back.  ``avg``/``moved_bytes``
+                # mirror _ship()'s expressions exactly.
+                avg = sum(inp.pre_bytes) / inp.rows if inp.rows else 0.0
+                moved_bytes = inp.moved * avg
+                metrics.net_bytes += moved_bytes
+                metrics.ship_seconds += params.net_seconds(moved_bytes)
+                shipped.append(inp.parts)
+                shipped_sizes.append(None)
+                continue
             sizes: list[float] | None = None
             if ship.kind is not ShipKind.FORWARD or spill_sizes:
-                sizes = _part_bytes(inputs[i])
-            out_parts = self._ship(ship, inputs[i], sizes, node, metrics)
+                sizes = _part_bytes(inp)
+            out_parts = self._ship(ship, inp, sizes, node, metrics)
             # Only Reduce consumes post-ship sizes, and Reduce ships are
             # forward or partition; a repartition redistributes records so
             # its per-partition sizes are unknown without a re-walk.
             shipped.append(out_parts)
             shipped_sizes.append(sizes if ship.kind is ShipKind.FORWARD else None)
-        out = self._local(node, shipped, shipped_sizes, metrics)
-        metrics.rows_out = sum(len(p) for p in out)
+        out = self._local(node, shipped, shipped_sizes, metrics, scatter)
+        if isinstance(out, ScatteredOutput):
+            metrics.rows_out = out.rows
+        else:
+            metrics.rows_out = sum(len(p) for p in out)
         report.per_op.append(metrics)
         return out
 
@@ -494,43 +578,64 @@ class Engine:
         inputs: list[Partitions],
         input_sizes: list[list[float] | None],
         metrics: OpMetrics,
+        scatter: ScatterSpec | None = None,
     ) -> Partitions:
+        """Evaluate a local strategy partition-by-partition.
+
+        The per-partition evaluation (shared with the pooled workers as
+        :func:`repro.engine.parallel.eval_local_partition`) is separated
+        from the metric arithmetic: workers — or the serial loop — hand
+        back output rows plus integer facts, and every float operation
+        happens here, in partition-index order, identically for
+        ``engine_jobs`` 1 and N.
+        """
         op = node.logical.op
         params = self.params
         cost_call = self._cost_per_call(op.name)
         degree = params.degree
-        out = empty_partitions(degree)
         cpu_per_instance = [0.0] * degree
         calls_total = 0
+
+        need_bytes = isinstance(op, ReduceOp) and input_sizes[0] is None
+        if self.engine_jobs > 1:
+            out, evaled = _pool.run_local(
+                op, tuple(inputs), need_bytes, scatter, self.engine_jobs, degree
+            )
+        else:
+            out = empty_partitions(degree)
+            evaled = []
+            for i in range(degree):
+                result, aux = _pool.eval_local_partition(
+                    op, tuple(inp[i] for inp in inputs), need_bytes
+                )
+                out[i] = result
+                evaled.append((len(result), aux))
 
         if isinstance(op, MapOp):
             (parts,) = inputs
             metrics.rows_in = sum(len(p) for p in parts)
-            for i, rows in enumerate(parts):
-                result = apply_map(op, rows)
-                out[i] = result
-                calls = len(rows)
+            for i in range(degree):
+                result_len, _ = evaled[i]
+                calls = len(parts[i])
                 calls_total += calls
                 cpu_per_instance[i] = (
-                    calls * cost_call + len(result) * params.record_overhead
+                    calls * cost_call + result_len * params.record_overhead
                 )
         elif isinstance(op, ReduceOp):
             (parts,) = inputs
             (sizes,) = input_sizes
             metrics.rows_in = sum(len(p) for p in parts)
-            for i, rows in enumerate(parts):
-                groups = len(group_by(rows, op.key_attr_tuple())) if rows else 0
-                result = apply_reduce(op, rows)
-                out[i] = result
+            for i in range(degree):
+                result_len, (groups, part_bytes) = evaled[i]
                 calls_total += groups
-                n = len(rows)
+                n = len(parts[i])
                 sort_units = n * math.log2(max(n, 2)) * params.sort_unit
                 cpu_per_instance[i] = (
                     sort_units
                     + groups * cost_call
-                    + len(result) * params.record_overhead
+                    + result_len * params.record_overhead
                 )
-                rows_bytes = sizes[i] if sizes is not None else _bytes_of(rows)
+                rows_bytes = sizes[i] if sizes is not None else part_bytes
                 spill = params.spill_bytes(rows_bytes * degree) / degree
                 metrics.disk_bytes += spill
                 metrics.local_seconds += params.disk_seconds(spill)
@@ -539,49 +644,39 @@ class Engine:
             metrics.rows_in = sum(len(p) for p in left) + sum(len(p) for p in right)
             build = node.build_side if node.build_side is not None else 0
             for i in range(degree):
-                l_rows, r_rows = left[i], right[i]
-                result = apply_match(op, l_rows, r_rows)
-                out[i] = result
-                build_rows = l_rows if build == 0 else r_rows
-                probe_rows = r_rows if build == 0 else l_rows
-                pairs = len(result)
+                pairs, _ = evaled[i]
+                build_rows = left[i] if build == 0 else right[i]
+                probe_rows = right[i] if build == 0 else left[i]
                 calls_total += pairs
                 cpu_per_instance[i] = (
                     len(build_rows) * params.build_unit
                     + len(probe_rows) * params.probe_unit
                     + pairs * cost_call
-                    + len(result) * params.record_overhead
+                    + pairs * params.record_overhead
                 )
         elif isinstance(op, CrossOp):
             left, right = inputs
             metrics.rows_in = sum(len(p) for p in left) + sum(len(p) for p in right)
             for i in range(degree):
-                result = apply_cross(op, left[i], right[i])
-                out[i] = result
+                result_len, _ = evaled[i]
                 pairs = len(left[i]) * len(right[i])
                 calls_total += pairs
                 cpu_per_instance[i] = (
                     pairs * (params.cross_unit + cost_call)
-                    + len(result) * params.record_overhead
+                    + result_len * params.record_overhead
                 )
         elif isinstance(op, CoGroupOp):
             left, right = inputs
             metrics.rows_in = sum(len(p) for p in left) + sum(len(p) for p in right)
             for i in range(degree):
-                l_rows, r_rows = left[i], right[i]
-                result = apply_cogroup(op, l_rows, r_rows)
-                out[i] = result
-                keys = len(
-                    set(group_by(l_rows, op.left_key_attrs()))
-                    | set(group_by(r_rows, op.right_key_attrs()))
-                )
+                result_len, (keys,) = evaled[i]
                 calls_total += keys
-                n, m = len(l_rows), len(r_rows)
+                n, m = len(left[i]), len(right[i])
                 cpu_per_instance[i] = (
                     n * math.log2(max(n, 2)) * params.sort_unit
                     + m * math.log2(max(m, 2)) * params.sort_unit
                     + keys * cost_call
-                    + len(result) * params.record_overhead
+                    + result_len * params.record_overhead
                 )
         else:  # pragma: no cover - defensive
             raise ExecutionError(f"cannot execute {op!r}")

@@ -142,6 +142,7 @@ class AdaptiveOptimizer:
         jobs: int = 1,
         midquery: bool = False,
         switch_threshold: float = DEFAULT_SWITCH_THRESHOLD,
+        engine_jobs: int = 1,
     ) -> None:
         self.workload = workload
         self.store = store if store is not None else StatisticsStore()
@@ -158,6 +159,7 @@ class AdaptiveOptimizer:
             reuse_subtree_results=True,
             streaming=streaming,
             collector=self.collector,
+            engine_jobs=engine_jobs,
         )
         self.optimizer = Optimizer(
             workload.catalog,

@@ -366,6 +366,7 @@ def run_midquery(
     hints: dict[str, Hints] | None = None,
     optimization: "OptimizationResult | None" = None,
     baseline: ExecutionResult | None = None,
+    engine_jobs: int = 1,
 ) -> MidQueryExperiment:
     """Optimize a workload, then race the pick with and without mid-query.
 
@@ -394,7 +395,9 @@ def run_midquery(
     pick = result.best
 
     if baseline is None:
-        baseline_engine = Engine(params, workload.true_costs)
+        baseline_engine = Engine(
+            params, workload.true_costs, engine_jobs=engine_jobs
+        )
         baseline = baseline_engine.execute(pick.physical, workload.data)
 
     controller = MidQueryReoptimizer(
@@ -406,7 +409,10 @@ def run_midquery(
         switch_threshold=switch_threshold,
     )
     staged_engine = Engine(
-        params, workload.true_costs, collector=ObservationCollector()
+        params,
+        workload.true_costs,
+        collector=ObservationCollector(),
+        engine_jobs=engine_jobs,
     )
     adaptive = staged_engine.execute_staged(
         pick.physical, workload.data, controller
