@@ -80,6 +80,13 @@ HEADLINES: dict[str, Headline] = {
     "midquery.json": Headline(
         ("modeled_speedup",), True, "mis-hinted run recovery via mid-query"
     ),
+    # Multi-process sqlite ingest throughput vs a curated portable floor
+    # (see baseline_note); the bench itself hard-asserts zero lost updates.
+    "store_concurrency.json": Headline(
+        ("sqlite_ingests_per_sec",),
+        True,
+        "contended 4-writer sqlite ingests/sec vs curated floor",
+    ),
 }
 
 

@@ -29,10 +29,15 @@ from ..workloads.base import Workload
 class ExecutedPlan:
     rank: int
     estimated_cost: float
-    runtime_seconds: float
+    runtime_seconds: float  # modeled (simulated) runtime
     runtime_label: str
     is_original: bool
     result: ExecutionResult
+
+    @property
+    def wall_seconds(self) -> float:
+        """Measured wall-clock of this plan's execution."""
+        return self.result.wall_seconds
 
 
 @dataclass(slots=True)
@@ -78,6 +83,7 @@ def run_experiment(
     execute_all: bool = False,
     feedback_rounds: int = 0,
     stats_store: StatisticsStore | str | Path | None = None,
+    stats_backend: str | None = None,
     jobs: int = 1,
     midquery: bool = False,
     switch_threshold: float = DEFAULT_SWITCH_THRESHOLD,
@@ -89,8 +95,11 @@ def run_experiment(
     adaptive feedback loop (:class:`AdaptiveOptimizer`): runtime
     observations from each round's executions re-estimate the next, and
     the reported outcome is the final round's.  ``stats_store`` may be a
-    live :class:`StatisticsStore` or a JSON path — a path is loaded if it
-    exists (warm start) and saved back after the run.  With
+    live :class:`StatisticsStore` or a path — a path opens through the
+    sniffed persistence backend (``.sqlite``/``.sqlite3``/``.db`` →
+    sqlite-WAL, else JSON; ``stats_backend`` forces one), warm-starting
+    from existing state, and every ingest commits transactionally so
+    concurrent experiments can share the store.  With
     ``feedback_rounds=0`` and no store this is exactly the feedback-free
     protocol — the code path below is untouched.  ``jobs > 1`` shards
     plan costing across forked worker processes (bit-identical results).
@@ -110,7 +119,8 @@ def run_experiment(
     if feedback_rounds > 0 or stats_store is not None:
         return _run_feedback_experiment(
             workload, picks, mode, params, execute_all, feedback_rounds,
-            stats_store, jobs, midquery, switch_threshold, engine_jobs,
+            stats_store, stats_backend, jobs, midquery, switch_threshold,
+            engine_jobs,
         )
     params = params or workload.params
     optimizer = Optimizer(workload.catalog, workload.hints, mode, params, jobs=jobs)
@@ -170,6 +180,7 @@ def _run_feedback_experiment(
     execute_all: bool,
     feedback_rounds: int,
     stats_store: StatisticsStore | str | Path | None,
+    stats_backend: str | None = None,
     jobs: int = 1,
     midquery: bool = False,
     switch_threshold: float = DEFAULT_SWITCH_THRESHOLD,
@@ -177,12 +188,12 @@ def _run_feedback_experiment(
 ) -> ExperimentOutcome:
     """The Section 7.3 protocol driven through the adaptive feedback loop."""
     params = params or workload.params
-    store_path: Path | None = None
     if isinstance(stats_store, StatisticsStore):
         store = stats_store
     elif stats_store is not None:
-        store_path = Path(stats_store)
-        store = StatisticsStore.open(store_path)
+        # Backend-attached: every ingest already committed transactionally,
+        # so there is nothing left to save at the end.
+        store = StatisticsStore.open(Path(stats_store), backend=stats_backend)
     else:
         store = StatisticsStore()
     adaptive = AdaptiveOptimizer(
@@ -229,8 +240,6 @@ def _run_feedback_experiment(
         )
     # The replays above were for reporting, not learning.
     adaptive.collector.clear()
-    if store_path is not None:
-        store.save(store_path)
     return outcome
 
 

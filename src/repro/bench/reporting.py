@@ -40,6 +40,11 @@ def render_figure(
     lines.append(
         f"runtime spread (worst/best executed): {outcome.runtime_spread:.1f}x"
     )
+    total_wall = sum(p.wall_seconds for p in outcome.executed)
+    if total_wall > 0:
+        lines.append(
+            f"wall clock (all executions, measured): {total_wall * 1e3:.0f} ms"
+        )
     lines.append("legend: '#' normalized cost estimate, '*' normalized runtime")
     return "\n".join(lines)
 

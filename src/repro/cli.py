@@ -8,9 +8,11 @@ Usage::
     python -m repro experiment textmining --picks 10
     python -m repro experiment tpch_q7 --scale 10
     python -m repro experiment clickstream --feedback-rounds 2 --stats-store stats.json
+    python -m repro experiment clickstream --feedback-rounds 2 --stats-store stats.sqlite
     python -m repro experiment tpch_q7 --jobs 4
     python -m repro experiment textmining --scale 400 --engine-jobs 4
     python -m repro experiment clickstream --midquery --switch-threshold 1.1
+    python -m repro stats migrate stats.json stats.sqlite
 """
 
 from __future__ import annotations
@@ -90,6 +92,7 @@ def cmd_experiment(args) -> int:
         execute_all=args.all,
         feedback_rounds=args.feedback_rounds,
         stats_store=args.stats_store,
+        stats_backend=args.stats_backend,
         jobs=args.jobs,
         midquery=args.midquery,
         switch_threshold=args.switch_threshold,
@@ -105,6 +108,45 @@ def cmd_experiment(args) -> int:
         print()
         print(outcome.midquery.describe())
     return 0
+
+
+def cmd_stats_migrate(args) -> int:
+    from pathlib import Path
+
+    from .core.errors import FeedbackError
+    from .feedback.store import StatisticsStore
+
+    if Path(args.dst).exists() and not args.force:
+        print(
+            f"destination {args.dst} already exists (use --force to merge "
+            "the source into it)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        source = StatisticsStore.open(args.src, backend=args.from_backend)
+        migrated = source.migrate_to(args.dst, backend=args.to_backend)
+    except FeedbackError as exc:
+        print(f"migration failed: {exc}", file=sys.stderr)
+        return 1
+    if migrated.estimator_view() != source.estimator_view():
+        print(
+            "migration failed verification: destination estimator view "
+            "differs from the source",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"migrated {args.src} -> {args.dst}: "
+        f"{len(source.nodes)} node(s), {len(source.sources)} source(s), "
+        f"{len(source.plans)} plan(s), store version {source.version} "
+        "(estimator view verified identical)"
+    )
+    return 0
+
+
+def cmd_stats(args) -> int:
+    return args.stats_fn(args)
 
 
 def _positive_int(text: str) -> int:
@@ -155,8 +197,17 @@ def build_parser() -> argparse.ArgumentParser:
                 "--stats-store",
                 default=None,
                 metavar="PATH",
-                help="JSON statistics store: loaded if present (warm "
-                "start), saved back after the run",
+                help="persistent statistics store: loaded if present (warm "
+                "start), kept current transactionally during the run; the "
+                "backend is sniffed from the extension (.sqlite/.sqlite3/"
+                ".db -> sqlite-WAL, anything else -> JSON)",
+            )
+            p.add_argument(
+                "--stats-backend",
+                choices=("json", "sqlite"),
+                default=None,
+                help="force the statistics-store backend instead of "
+                "sniffing it from the --stats-store extension",
             )
             p.add_argument(
                 "--jobs",
@@ -196,6 +247,37 @@ def build_parser() -> argparse.ArgumentParser:
                 f"(default {DEFAULT_SWITCH_THRESHOLD})",
             )
         p.set_defaults(fn=fn)
+
+    stats = sub.add_parser(
+        "stats", help="manage persistent statistics stores"
+    )
+    stats_sub = stats.add_subparsers(dest="stats_command", required=True)
+    migrate = stats_sub.add_parser(
+        "migrate",
+        help="copy a statistics store into another backend "
+        "(e.g. JSON -> sqlite)",
+    )
+    migrate.add_argument("src", help="source store path")
+    migrate.add_argument("dst", help="destination store path")
+    migrate.add_argument(
+        "--from-backend",
+        choices=("json", "sqlite"),
+        default=None,
+        help="force the source backend (default: sniff the extension)",
+    )
+    migrate.add_argument(
+        "--to-backend",
+        choices=("json", "sqlite"),
+        default=None,
+        help="force the destination backend (default: sniff the extension)",
+    )
+    migrate.add_argument(
+        "--force",
+        action="store_true",
+        help="merge into an existing destination store",
+    )
+    migrate.set_defaults(stats_fn=cmd_stats_migrate)
+    stats.set_defaults(fn=cmd_stats)
     return parser
 
 

@@ -38,6 +38,7 @@ path, kept as the parity reference.
 from __future__ import annotations
 
 import math
+import os
 import time
 import warnings
 from dataclasses import dataclass
@@ -79,20 +80,24 @@ _run_seq = 0
 
 
 def _next_run_id() -> str:
-    """Process-unique id for one engine execution (transient, never persisted).
+    """Globally unique id for one engine execution.
 
     Ties a staged execution's in-flight stage-delta observations to its
     final whole-run observation, so the statistics store can refuse to
-    count the same (signature, run) twice."""
+    count the same (signature, run) twice.  The pid qualifier keeps ids
+    from concurrent processes distinct — the dedupe map is persisted by
+    backend-attached stores, so a collision across writers would
+    silently drop another process's observations."""
     global _run_seq
     _run_seq += 1
-    return f"run-{_run_seq}"
+    return f"run-{os.getpid()}-{_run_seq}"
 
 
 @dataclass(slots=True)
 class ExecutionResult:
     records: list[RawRecord]
     report: ExecutionReport
+    wall_seconds: float = 0.0  # measured wall-clock of the whole execution
 
     @property
     def seconds(self) -> float:
@@ -207,15 +212,21 @@ class Engine:
         if self.reuse_subtree_results and self._cache_data is not data:
             self._subtree_cache.clear()
             self._cache_data = data  # strong ref: no id-reuse hazard
+        wall_start = time.perf_counter()
         parts = self._run(plan, data, report)
+        wall = time.perf_counter() - wall_start
         # Internally, records flow by reference (filter-style UDFs forward
         # the input dicts, the subtree cache replays partitions); copy at
         # the API boundary so callers that mutate returned records cannot
         # corrupt source data or cached results.
         records = [dict(r) for r in gather(parts)]
-        result = ExecutionResult(records=records, report=report)
+        result = ExecutionResult(
+            records=records, report=report, wall_seconds=wall
+        )
         if self.collector is not None:
-            self.collector.observe_execution(plan, report, self.true_costs)
+            self.collector.observe_execution(
+                plan, report, self.true_costs, wall_seconds=wall
+            )
         return result
 
     def execute_staged(
@@ -307,14 +318,17 @@ class Engine:
         finally:
             self._stage_results = None
             self.reuse_subtree_results = saved_reuse
-        result = ExecutionResult(records=records, report=report)
+        total_wall = sum(wall for _, wall in self.last_stage_walls)
+        result = ExecutionResult(
+            records=records, report=report, wall_seconds=total_wall
+        )
         if self.collector is not None:
             # A switched run is a hybrid of two plans: its metrics are
             # real per-op observations (already keyed transferably), but
             # its total seconds belong to no single plan — mark partial.
             self.collector.observe_execution(
                 current, report, self.true_costs, run_id=run_id,
-                partial=switched,
+                partial=switched, wall_seconds=total_wall,
             )
         return result
 

@@ -4,10 +4,11 @@ The counterpart to the paper's *static* opening of UDF black boxes: the
 engine already measures every operator's true cardinalities while
 executing — this subsystem closes the loop by collecting those
 measurements (:mod:`.observation`), aggregating them across runs with
-decay and JSON persistence (:mod:`.store`), preferring them over hinted
-defaults during estimation (:mod:`.estimator`), and driving an
-optimize -> execute -> learn -> re-optimize fixed-point loop
-(:mod:`.adaptive`).
+decay over a pluggable transactional persistence layer (:mod:`.store`
+policy over :mod:`.backends` — crash-safe JSON or sqlite-WAL),
+preferring them over hinted defaults during estimation
+(:mod:`.estimator`), and driving an optimize -> execute -> learn ->
+re-optimize fixed-point loop (:mod:`.adaptive`).
 """
 
 from .adaptive import (
@@ -15,6 +16,15 @@ from .adaptive import (
     AdaptiveReport,
     AdaptiveRound,
     ExecutedRound,
+)
+from .backends import (
+    BackendConflict,
+    CommitDelta,
+    JsonBackend,
+    SqliteBackend,
+    StatsBackend,
+    open_backend,
+    sniff_backend,
 )
 from .estimator import FeedbackEstimator, QErrorReport, merge_hints, qerror, qerror_report
 from .midquery import (
@@ -37,10 +47,13 @@ __all__ = [
     "AdaptiveOptimizer",
     "AdaptiveReport",
     "AdaptiveRound",
+    "BackendConflict",
+    "CommitDelta",
     "DEFAULT_SWITCH_THRESHOLD",
     "ExecutedRound",
     "ExecutionObservation",
     "FeedbackEstimator",
+    "JsonBackend",
     "MidQueryExperiment",
     "MidQueryReoptimizer",
     "NodeStats",
@@ -49,12 +62,16 @@ __all__ = [
     "PlanStats",
     "QErrorReport",
     "SourceObservation",
+    "SqliteBackend",
     "StatisticsStore",
+    "StatsBackend",
     "SwitchDecision",
     "merge_hints",
     "observe_plan",
     "observe_stage",
+    "open_backend",
     "qerror",
     "qerror_report",
     "run_midquery",
+    "sniff_backend",
 ]

@@ -73,8 +73,9 @@ class AdaptiveRound:
     optimization: OptimizationResult
     estimator_pick: RankedPlan  # rank-1 plan under this round's estimates
     pick: RankedPlan  # chosen plan after measured-runtime preference
-    pick_seconds: float  # measured runtime of the chosen plan
+    pick_seconds: float  # modeled runtime of the chosen plan
     pick_measured_rank: int  # 1 = fastest among all measured plans so far
+    pick_wall_seconds: float = 0.0  # wall-clock of the chosen plan's run
     executed: list[ExecutedRound] = field(default_factory=list)
     qerror: QErrorReport = field(default_factory=lambda: QErrorReport({}))
     converged: bool = False
@@ -103,7 +104,8 @@ class AdaptiveReport:
         for r in self.rounds:
             lines.append(
                 f"  round {r.index}: pick est-rank={r.pick.rank} "
-                f"measured {r.pick_seconds:.3f}s (measured-rank {r.pick_measured_rank}), "
+                f"measured {r.pick_seconds:.3f}s (measured-rank {r.pick_measured_rank}, "
+                f"wall {r.pick_wall_seconds * 1e3:.1f}ms), "
                 f"q-error median {r.qerror.median:.3f} max {r.qerror.max:.3f}"
                 f"{'  [converged]' if r.converged else ''}"
             )
@@ -223,6 +225,21 @@ class AdaptiveOptimizer:
         return report
 
     def _run_round(self, index: int) -> AdaptiveRound:
+        # Incorporate any foreign commits to a shared backend first, so
+        # this round optimizes over the freshest learned statistics; the
+        # dirty-spine diff below evicts exactly the affected memo
+        # entries.  Backend-less (and single-writer) runs see an empty
+        # diff and proceed bit-identically to the seed loop.
+        self.store.sync()
+        fresh_view = self.store.estimator_view()
+        foreign_changed = {
+            name
+            for name in fresh_view.keys() | self._view.keys()
+            if fresh_view.get(name) != self._view.get(name)
+        }
+        if foreign_changed:
+            self._view = fresh_view
+            self.memo.invalidate(foreign_changed)
         optimization = self.optimizer.optimize(self.workload.plan, memo=self.memo)
         estimator_pick = optimization.best
         # Deployment decision uses what the store knew when this round
@@ -286,7 +303,8 @@ class AdaptiveOptimizer:
         if changed:
             self.memo.invalidate(changed)
 
-        pick_seconds = seen[_plan_key(pick.body)].seconds
+        pick_run = seen[_plan_key(pick.body)]
+        pick_seconds = pick_run.seconds
         return AdaptiveRound(
             index=index,
             optimization=optimization,
@@ -294,6 +312,7 @@ class AdaptiveOptimizer:
             pick=pick,
             pick_seconds=pick_seconds,
             pick_measured_rank=self._measured_rank(pick_seconds),
+            pick_wall_seconds=pick_run.result.wall_seconds,
             executed=executed,
             qerror=qerror,
             midquery=(

@@ -1,0 +1,66 @@
+"""Pluggable, concurrent-safe persistence under the statistics store.
+
+Two implementations of the :class:`~.base.StatsBackend` protocol ship:
+
+* :class:`~.json_backend.JsonBackend` — the seed's JSON format, made
+  crash-safe (temp-file + atomic rename) and advisory-locked;
+* :class:`~.sqlite_backend.SqliteBackend` — WAL-mode sqlite with one
+  transaction per ingested execution and schema migrations.
+
+:func:`open_backend` picks one by file extension (``.sqlite`` /
+``.sqlite3`` / ``.db`` → sqlite, anything else → JSON) unless an
+explicit name overrides the sniff.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from ...core.errors import FeedbackError
+from .base import BackendConflict, CommitDelta, StatsBackend
+from .json_backend import JsonBackend, read_json_payload, write_json_atomic
+from .sqlite_backend import SqliteBackend
+
+#: Extensions that sniff as the sqlite backend.
+SQLITE_SUFFIXES = frozenset({".sqlite", ".sqlite3", ".db"})
+
+#: Names accepted as an explicit backend override.
+BACKEND_NAMES = ("json", "sqlite")
+
+
+def sniff_backend(path: str | Path) -> str:
+    """Backend name implied by a store path's extension."""
+    return "sqlite" if Path(path).suffix.lower() in SQLITE_SUFFIXES else "json"
+
+
+def open_backend(path: str | Path, name: str | None = None) -> StatsBackend:
+    """Open (creating on first commit) the backend for ``path``.
+
+    ``name`` forces ``"json"`` or ``"sqlite"`` regardless of extension;
+    ``None`` sniffs the extension via :func:`sniff_backend`.
+    """
+    if name is None:
+        name = sniff_backend(path)
+    if name == "json":
+        return JsonBackend(path)
+    if name == "sqlite":
+        return SqliteBackend(path)
+    raise FeedbackError(
+        f"unknown statistics backend {name!r} (expected one of "
+        f"{', '.join(BACKEND_NAMES)})"
+    )
+
+
+__all__ = [
+    "BACKEND_NAMES",
+    "BackendConflict",
+    "CommitDelta",
+    "JsonBackend",
+    "SQLITE_SUFFIXES",
+    "SqliteBackend",
+    "StatsBackend",
+    "open_backend",
+    "read_json_payload",
+    "sniff_backend",
+    "write_json_atomic",
+]

@@ -1,0 +1,133 @@
+"""Crash-safe, advisory-locked JSON persistence (the seed store format).
+
+The file layout is exactly ``StatisticsStore.to_dict()`` plus one extra
+top-level key, ``"generation"`` — the monotonic commit counter the
+optimistic-concurrency contract (:mod:`.base`) is built on.  The loader
+tolerates files without it (a plain ``StatisticsStore.save()`` export
+reads as generation 0).
+
+Two guarantees the seed's ``write_text`` rewrite did not have:
+
+* **Torn-write safety** — every write lands in a same-directory temp
+  file that is fsynced and then :func:`os.replace`\\ d over the target,
+  so a reader (or a crash at any instant) sees either the complete old
+  state or the complete new state, never a half-written file.
+* **Advisory exclusion** — commits take an exclusive ``flock`` on a
+  sidecar ``<name>.lock`` file for the read-check-write critical
+  section, so concurrent writers serialize instead of clobbering each
+  other's updates; the generation check inside the lock turns a lost
+  race into a clean :class:`~.base.BackendConflict`.
+
+On platforms without ``fcntl`` the lock degrades to a no-op (single
+-process use stays correct; concurrent writers need POSIX).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from pathlib import Path
+
+from ...core.errors import FeedbackError
+from .base import BackendConflict, CommitDelta
+
+try:  # pragma: no cover - platform probe
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None
+
+
+def write_json_atomic(path: str | Path, payload: dict) -> None:
+    """Serialize ``payload`` and atomically replace ``path`` with it."""
+    path = Path(path)
+    text = json.dumps(payload, indent=1, sort_keys=True)
+    tmp = path.parent / f".{path.name}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        with contextlib.suppress(OSError):
+            tmp.unlink(missing_ok=True)
+
+
+def read_json_payload(path: str | Path) -> dict:
+    """Parse a statistics-store JSON file, failing with clean errors."""
+    try:
+        text = Path(path).read_text()
+    except OSError as exc:
+        raise FeedbackError(
+            f"statistics store {str(path)!r} is unreadable: {exc}"
+        ) from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise FeedbackError(
+            f"statistics store {str(path)!r} is not valid JSON: {exc}"
+        ) from None
+    if not isinstance(payload, dict):
+        raise FeedbackError(
+            f"statistics store {str(path)!r} must hold a JSON object"
+        )
+    return payload
+
+
+class JsonBackend:
+    """File-per-store JSON backend (current format, now concurrent-safe)."""
+
+    name = "json"
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self._lock_path = self.path.parent / f"{self.path.name}.lock"
+
+    @contextlib.contextmanager
+    def _locked(self):
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        with open(self._lock_path, "a+") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    def _read_unlocked(self) -> tuple[dict | None, int]:
+        if not self.path.exists():
+            return None, 0
+        payload = read_json_payload(self.path)
+        return payload, int(payload.get("generation", 0))
+
+    # -- StatsBackend ------------------------------------------------------
+
+    def load(self) -> tuple[dict | None, int]:
+        with self._locked():
+            return self._read_unlocked()
+
+    def generation(self) -> int:
+        with self._locked():
+            return self._read_unlocked()[1]
+
+    def commit(
+        self, payload: dict, delta: CommitDelta, expected_generation: int
+    ) -> int:
+        # Whole-file format: the delta is subsumed by the payload.
+        del delta
+        with self._locked():
+            _, current = self._read_unlocked()
+            if current != expected_generation:
+                raise BackendConflict(
+                    f"statistics store {str(self.path)!r} moved to "
+                    f"generation {current} (expected {expected_generation})"
+                )
+            out = dict(payload)
+            out["generation"] = current + 1
+            write_json_atomic(self.path, out)
+            return out["generation"]
+
+    def close(self) -> None:
+        pass  # nothing held open between calls

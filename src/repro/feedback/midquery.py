@@ -165,6 +165,11 @@ class MidQueryReoptimizer:
         """
         if run_id != self._run_id:
             self._begin_run(run_id)
+        # 0. Incorporate foreign commits to a shared backend before
+        # folding this stage's delta; the view diff below then covers
+        # foreign and local changes in one pass.  No-op without a
+        # backend or concurrent writers.
+        self.store.sync()
         # 1. Flush the stage's observation delta into the store — and into
         # the engine's collector, so drivers that bulk-ingest collected
         # observations later see it too (deduped there by run id).

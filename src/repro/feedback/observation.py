@@ -97,6 +97,10 @@ class ExecutionObservation:
     ops: tuple[OpObservation, ...]
     run_id: str | None = None  # shared by all observations of one execution
     partial: bool = False  # a stage delta / hybrid run, not a full plan
+    # Measured wall-clock of the whole plan (0 = unknown).  Excluded from
+    # equality: wall time is hardware noise, not part of the logical
+    # observation (engine-mode parity compares observations directly).
+    wall_seconds: float = field(default=0.0, compare=False)
 
 
 def observe_plan(
@@ -105,6 +109,7 @@ def observe_plan(
     true_costs: dict[str, float] | None = None,
     run_id: str | None = None,
     partial: bool = False,
+    wall_seconds: float = 0.0,
 ) -> ExecutionObservation:
     """Pair an execution report with the plan's logical structure.
 
@@ -133,6 +138,7 @@ def observe_plan(
         ops=tuple(ops),
         run_id=run_id,
         partial=partial,
+        wall_seconds=wall_seconds,
     )
 
 
@@ -217,8 +223,11 @@ class ObservationCollector:
         true_costs: dict[str, float] | None = None,
         run_id: str | None = None,
         partial: bool = False,
+        wall_seconds: float = 0.0,
     ) -> ExecutionObservation:
-        observation = observe_plan(plan, report, true_costs, run_id, partial)
+        observation = observe_plan(
+            plan, report, true_costs, run_id, partial, wall_seconds
+        )
         self.executions.append(observation)
         return observation
 

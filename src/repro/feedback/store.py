@@ -1,7 +1,7 @@
 """The statistics store: aggregated runtime observations across runs.
 
-Aggregation model
------------------
+Aggregation model (the policy layer)
+------------------------------------
 Every ingested execution bumps the store ``version`` (a logical clock —
 no wall time, so replays are deterministic).  Per-node statistics merge
 by exponential moving average with weight ``decay`` on the newest
@@ -21,25 +21,54 @@ What is learned
   alternatives that were never executed,
 * per-source row counts and scan volumes
   (:class:`~repro.core.catalog.SourceStats` overrides),
-* per-plan measured runtimes, which let the adaptive driver prefer a
-  plan it has *measured* to be fastest over one it merely estimates.
+* per-plan measured runtimes — both the engine's *modeled* seconds and
+  the measured *wall-clock* seconds — which let the adaptive driver
+  prefer a plan it has measured to be fastest over one it merely
+  estimates.
 
-The store round-trips through JSON (:meth:`save` / :meth:`load`):
-persist -> reload -> re-optimize is bit-deterministic.
+Persistence (the backend layer)
+-------------------------------
+All policy above is persistence-agnostic.  A store may run purely in
+memory (``backend=None``, the default — behavior identical to the seed)
+or attach a :class:`~.backends.StatsBackend` (:meth:`open`), in which
+case **every ingest is one transaction**: incorporate foreign commits
+(cheap generation probe), fold the execution, and atomically publish the
+result with an optimistic generation check — a lost race reloads and
+re-folds, so concurrent writers can never double-fold an EMA or tear a
+file.  The ``(signature, run-id)`` ingest-dedupe map is persisted with
+the state, so a whole-run ingest cannot double-count stage deltas even
+across process boundaries.  :meth:`sync` pulls foreign writes on demand
+and returns exactly the dirty operator-name set (the
+:meth:`estimator_view` diff), which is precisely what
+:meth:`~repro.optimizer.memo.Memo.invalidate` wants.
+
+The store also round-trips through plain JSON (:meth:`save` /
+:meth:`load` — now torn-write-safe via atomic replace): persist ->
+reload -> re-optimize is bit-deterministic, across backends too.
 """
 
 from __future__ import annotations
 
-import json
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
 from ..core.catalog import Catalog, SourceStats
 from ..core.errors import FeedbackError
 from ..optimizer.cardinality import Hints
+from .backends import (
+    BackendConflict,
+    CommitDelta,
+    StatsBackend,
+    open_backend,
+    read_json_payload,
+    write_json_atomic,
+)
 from .observation import GROUPING_KINDS, ExecutionObservation
 
-_FORMAT_VERSION = 1
+#: Current payload format; version 1 (no run-dedupe map, no wall-clock
+#: plan stats) still loads.
+_FORMAT_VERSION = 2
 
 
 @dataclass(slots=True)
@@ -88,12 +117,22 @@ class SourceObservation:
 
 @dataclass(slots=True)
 class PlanStats:
-    """Measured runtime of one logical plan body."""
+    """Measured runtimes of one logical plan body.
+
+    ``seconds`` is the engine's modeled time (deterministic, the basis
+    of deployment decisions); ``wall_seconds`` is the measured
+    wall-clock of the same executions (hardware truth, fed by
+    ``StageRun.wall_seconds`` / ``ExecutionResult.wall_seconds``) —
+    tracked separately because wall clocks only exist for runs this
+    machine actually performed.
+    """
 
     key: str
     seconds: float = 0.0
     runs: int = 0
     last_seen: int = 0
+    wall_seconds: float = 0.0
+    wall_runs: int = 0
 
 
 def _ema(old: float, new: float, weight: float, first: bool) -> float:
@@ -104,7 +143,7 @@ def _ema(old: float, new: float, weight: float, first: bool) -> float:
 
 @dataclass(slots=True)
 class StatisticsStore:
-    """In-memory + JSON-persisted aggregate of runtime observations."""
+    """Aggregate of runtime observations over a pluggable backend."""
 
     decay: float = 0.5  # EMA weight of the newest observation
     staleness_horizon: int | None = None  # ingests before an entry goes stale
@@ -112,13 +151,20 @@ class StatisticsStore:
     nodes: dict[str, NodeStats] = field(default_factory=dict)
     sources: dict[str, SourceObservation] = field(default_factory=dict)
     plans: dict[str, PlanStats] = field(default_factory=dict)
-    # Transient (never persisted): run id -> signature keys already folded
-    # in for that engine execution.  A staged execution ingests each
-    # stage's delta in flight and then the whole-run observation at the
-    # end; without this, every stage op would be EMA-folded twice per run.
+    #: Transactional persistence; None = in-memory only (seed behavior).
+    backend: StatsBackend | None = field(
+        default=None, repr=False, compare=False
+    )
+    # run id -> signature keys already folded in for that engine
+    # execution.  A staged execution ingests each stage's delta in
+    # flight and then the whole-run observation at the end; without
+    # this, every stage op would be EMA-folded twice per run.  Persisted
+    # by backends so the guarantee holds across processes too.
     _run_ingested: dict[str, set[str]] = field(
         default_factory=dict, repr=False, compare=False
     )
+    #: Backend generation this process has incorporated (0 = fresh).
+    _generation: int = field(default=0, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not (0.0 < self.decay <= 1.0):
@@ -136,6 +182,12 @@ class StatisticsStore:
     #: executions.
     _RUN_DEDUP_LIMIT = 64
 
+    #: Optimistic-commit attempts before an ingest gives up.  Conflicts
+    #: only repeat while other writers keep winning the race; each retry
+    #: re-folds over their committed state, so progress is global even
+    #: when one process loops.
+    _COMMIT_RETRIES = 64
+
     def ingest(self, execution: ExecutionObservation) -> None:
         """Fold one execution's observations into the aggregates.
 
@@ -147,9 +199,50 @@ class StatisticsStore:
         deltas, switched hybrid runs) update node and source statistics
         but never the per-plan measured runtimes: their ``seconds`` are
         not a whole-plan runtime.
+
+        With a backend attached the fold is transactional: foreign
+        commits are incorporated first, and the folded state is
+        published atomically under an optimistic generation check — on
+        conflict the fold is discarded, re-applied over the winner's
+        state, and retried, so no concurrent ingest is ever lost or
+        double-counted.
+        """
+        if self.backend is None:
+            self._fold(execution)
+            return
+        for attempt in range(self._COMMIT_RETRIES):
+            if self.backend.generation() != self._generation:
+                self._reload()
+            delta = self._fold(execution)
+            try:
+                self._generation = self.backend.commit(
+                    self.to_dict(), delta, self._generation
+                )
+                return
+            except BackendConflict:
+                # Our fold raced a foreign commit: drop it, take the
+                # winner's state, re-fold on the next pass.  Brief
+                # backoff after repeated losses to break livelock.
+                self._reload()
+                if attempt >= 2:
+                    time.sleep(0.001 * min(attempt, 20))
+        raise FeedbackError(
+            f"statistics backend kept conflicting for "
+            f"{self._COMMIT_RETRIES} commit attempts — writer storm or a "
+            "stuck lock; retry the ingest"
+        )
+
+    def _fold(self, execution: ExecutionObservation) -> CommitDelta:
+        """Apply one execution to the in-memory aggregates.
+
+        Pure policy — no IO.  Returns the delta (touched rows plus the
+        post-trim run-dedupe map) a transactional backend commit needs.
         """
         self.version += 1
         w = self.decay
+        touched_nodes: set[str] = set()
+        touched_sources: set[str] = set()
+        touched_plans: set[str] = set()
         ingested: set[str] | None = None
         if execution.run_id is not None:
             ingested = self._run_ingested.get(execution.run_id)
@@ -172,6 +265,7 @@ class StatisticsStore:
                 src.scan_bytes = _ema(src.scan_bytes, obs.disk_bytes, w, first)
                 src.runs += 1
                 src.last_seen = self.version
+                touched_sources.add(obs.op_name)
                 continue
             node = self.nodes.get(obs.key)
             if node is None:
@@ -184,16 +278,94 @@ class StatisticsStore:
             node.cpu_per_call = _ema(node.cpu_per_call, obs.cpu_per_call, w, first)
             node.runs += 1
             node.last_seen = self.version
-        if execution.partial:
+            touched_nodes.add(obs.key)
+        if not execution.partial:
+            plan = self.plans.get(execution.plan_key)
+            if plan is None:
+                plan = PlanStats(key=execution.plan_key)
+                self.plans[execution.plan_key] = plan
+            first = plan.runs == 0
+            plan.seconds = _ema(plan.seconds, execution.seconds, w, first)
+            plan.runs += 1
+            plan.last_seen = self.version
+            if execution.wall_seconds > 0.0:
+                first_wall = plan.wall_runs == 0
+                plan.wall_seconds = _ema(
+                    plan.wall_seconds, execution.wall_seconds, w, first_wall
+                )
+                plan.wall_runs += 1
+            touched_plans.add(execution.plan_key)
+        return CommitDelta(
+            version=self.version,
+            nodes={k: _node_row(self.nodes[k]) for k in touched_nodes},
+            sources={n: _source_row(self.sources[n]) for n in touched_sources},
+            plans={k: _plan_row(self.plans[k]) for k in touched_plans},
+            run_ingested=self._run_ingested_payload(),
+        )
+
+    # -- backend synchronization -------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Monotonic counter of the persisted state this process holds.
+
+        Backends bump it once per committed ingest (by *any* process);
+        comparing two readings is a constant-cost foreign-write probe.
+        Backend-less stores expose their logical clock, which bumps
+        identically — one per ingest.
+        """
+        if self.backend is None:
+            return self.version
+        return self._generation
+
+    def sync(self) -> frozenset[str]:
+        """Incorporate foreign commits; return the dirty operator set.
+
+        Probes the backend's generation and, when another process has
+        committed since this store last looked, reloads the persisted
+        state and returns exactly the operator names whose
+        :meth:`estimator_view` entry changed — the set
+        :meth:`~repro.optimizer.memo.Memo.invalidate` needs to evict the
+        stale memo spine.  Cheap no-op (empty set) when nothing foreign
+        happened or no backend is attached.
+        """
+        if self.backend is None or self.backend.generation() == self._generation:
+            return frozenset()
+        before = self.estimator_view()
+        self._reload()
+        after = self.estimator_view()
+        return frozenset(
+            name
+            for name in before.keys() | after.keys()
+            if before.get(name) != after.get(name)
+        )
+
+    def _reload(self) -> None:
+        """Replace all in-memory state with the backend's current state."""
+        payload, generation = self.backend.load()
+        self._generation = generation
+        if payload is None:
+            self.version = 0
+            self.nodes.clear()
+            self.sources.clear()
+            self.plans.clear()
+            self._run_ingested.clear()
             return
-        plan = self.plans.get(execution.plan_key)
-        if plan is None:
-            plan = PlanStats(key=execution.plan_key)
-            self.plans[execution.plan_key] = plan
-        first = plan.runs == 0
-        plan.seconds = _ema(plan.seconds, execution.seconds, w, first)
-        plan.runs += 1
-        plan.last_seen = self.version
+        other = StatisticsStore.from_dict(payload)
+        self.decay = other.decay
+        self.staleness_horizon = other.staleness_horizon
+        self.version = other.version
+        self.nodes = other.nodes
+        self.sources = other.sources
+        self.plans = other.plans
+        self._run_ingested = other._run_ingested
+
+    def _run_ingested_payload(self) -> list[tuple[str, list[str]]]:
+        """Dedupe map as ordered pairs (insertion order is eviction order)."""
+        return [
+            (run_id, sorted(keys))
+            for run_id, keys in self._run_ingested.items()
+        ]
 
     # -- staleness ---------------------------------------------------------
 
@@ -248,7 +420,9 @@ class StatisticsStore:
         exactly the dirty set for
         :meth:`~repro.optimizer.memo.Memo.invalidate`.  Staleness
         transitions are captured too: an entry crossing the horizon
-        drops out of the view and flags its name.
+        drops out of the view and flags its name.  (:meth:`sync` applies
+        the same diff across *processes*, keyed off the backend's
+        generation counter.)
         """
         view: dict[str, list] = {}
         for name, hint in self.learned_hints().items():
@@ -271,11 +445,18 @@ class StatisticsStore:
         return node
 
     def plan_seconds(self, key: str) -> float | None:
-        """Fresh measured runtime of a plan body, or None."""
+        """Fresh *modeled* runtime of a plan body, or None."""
         plan = self.plans.get(key)
         if plan is None or not self._fresh(plan.last_seen):
             return None
         return plan.seconds
+
+    def plan_wall_seconds(self, key: str) -> float | None:
+        """Fresh *measured wall-clock* runtime of a plan body, or None."""
+        plan = self.plans.get(key)
+        if plan is None or plan.wall_runs == 0 or not self._fresh(plan.last_seen):
+            return None
+        return plan.wall_seconds
 
     def learned_hints(self) -> dict[str, Hints]:
         """Per-operator hints aggregated across every observed position.
@@ -339,41 +520,21 @@ class StatisticsStore:
             "staleness_horizon": self.staleness_horizon,
             "version": self.version,
             "nodes": {
-                k: {
-                    "op_name": n.op_name,
-                    "kind": n.kind,
-                    "rows_in": n.rows_in,
-                    "rows_out": n.rows_out,
-                    "udf_calls": n.udf_calls,
-                    "cpu_per_call": n.cpu_per_call,
-                    "runs": n.runs,
-                    "last_seen": n.last_seen,
-                }
-                for k, n in sorted(self.nodes.items())
+                k: _node_row(n) for k, n in sorted(self.nodes.items())
             },
             "sources": {
-                k: {
-                    "rows": s.rows,
-                    "scan_bytes": s.scan_bytes,
-                    "runs": s.runs,
-                    "last_seen": s.last_seen,
-                }
-                for k, s in sorted(self.sources.items())
+                k: _source_row(s) for k, s in sorted(self.sources.items())
             },
             "plans": {
-                k: {
-                    "seconds": p.seconds,
-                    "runs": p.runs,
-                    "last_seen": p.last_seen,
-                }
-                for k, p in sorted(self.plans.items())
+                k: _plan_row(p) for k, p in sorted(self.plans.items())
             },
+            "run_ingested": self._run_ingested_payload(),
         }
 
     @classmethod
     def from_dict(cls, payload: dict) -> "StatisticsStore":
         try:
-            if payload["format"] != _FORMAT_VERSION:
+            if payload["format"] not in (1, _FORMAT_VERSION):
                 raise FeedbackError(
                     f"unsupported statistics-store format {payload['format']!r}"
                 )
@@ -388,33 +549,120 @@ class StatisticsStore:
                 store.sources[name] = SourceObservation(name=name, **s)
             for key, p in payload["plans"].items():
                 store.plans[key] = PlanStats(key=key, **p)
-        except (KeyError, TypeError) as exc:
+            for run_id, keys in payload.get("run_ingested", []):
+                store._run_ingested[run_id] = set(keys)
+        except (KeyError, TypeError, ValueError) as exc:
             raise FeedbackError(
                 f"malformed statistics-store payload: {exc!r}"
             ) from None
         return store
 
     def save(self, path: str | Path) -> None:
-        Path(path).write_text(json.dumps(self.to_dict(), indent=1, sort_keys=True))
+        """Export the state as plain JSON (atomic temp-file + rename).
+
+        A crash at any instant leaves either the complete previous file
+        or the complete new one — never a half-written store.
+        """
+        write_json_atomic(path, self.to_dict())
 
     @classmethod
     def load(cls, path: str | Path) -> "StatisticsStore":
-        text = Path(path).read_text()
-        try:
-            payload = json.loads(text)
-        except json.JSONDecodeError as exc:
-            raise FeedbackError(
-                f"statistics store {str(path)!r} is not valid JSON: {exc}"
-            ) from None
-        if not isinstance(payload, dict):
-            raise FeedbackError(
-                f"statistics store {str(path)!r} must hold a JSON object"
-            )
-        return cls.from_dict(payload)
+        return cls.from_dict(read_json_payload(path))
 
     @classmethod
-    def open(cls, path: str | Path, **kwargs) -> "StatisticsStore":
-        """Load an existing store, or create a fresh one for the path."""
-        if Path(path).exists():
-            return cls.load(path)
-        return cls(**kwargs)
+    def open(
+        cls,
+        path: str | Path,
+        backend: str | StatsBackend | None = None,
+        **kwargs,
+    ) -> "StatisticsStore":
+        """Open a backend-attached store at ``path``.
+
+        The backend is sniffed from the extension (``.sqlite`` /
+        ``.sqlite3`` / ``.db`` → sqlite-WAL, anything else → JSON)
+        unless ``backend`` names one explicitly (or passes an instance).
+        Existing state is loaded (warm start, persisted policy config
+        wins); a fresh path starts empty with ``kwargs`` as the policy
+        config and is created immediately, so concurrent openers agree
+        on the file from the start.
+        """
+        if isinstance(backend, str) or backend is None:
+            backend = open_backend(path, backend)
+        payload, generation = backend.load()
+        if payload is not None:
+            store = cls.from_dict(payload)
+            store.backend = backend
+            store._generation = generation
+            return store
+        store = cls(backend=backend, **kwargs)
+        store._generation = generation
+        try:
+            store._generation = backend.commit(
+                store.to_dict(), CommitDelta(version=0), generation
+            )
+        except BackendConflict:
+            # Another process created the store first: adopt its state.
+            store._reload()
+        return store
+
+    def migrate_to(
+        self, path: str | Path, backend: str | None = None
+    ) -> "StatisticsStore":
+        """Copy the full current state into a (new) backend at ``path``.
+
+        The write is one transactional commit on the destination (all
+        rows as the delta, so incremental backends materialize every
+        table).  Returns the freshly opened destination store — callers
+        can diff ``estimator_view()`` against the source to verify the
+        migration was lossless.
+        """
+        destination = open_backend(path, backend)
+        payload = self.to_dict()
+        full = CommitDelta(
+            version=self.version,
+            nodes=payload["nodes"],
+            sources=payload["sources"],
+            plans=payload["plans"],
+            run_ingested=self._run_ingested_payload(),
+        )
+        _, generation = destination.load()
+        try:
+            destination.commit(payload, full, generation)
+        except BackendConflict:
+            raise FeedbackError(
+                f"destination store {str(path)!r} changed mid-migration — "
+                "stop its writers and retry"
+            ) from None
+        return StatisticsStore.open(path, backend=destination)
+
+
+def _node_row(n: NodeStats) -> dict:
+    return {
+        "op_name": n.op_name,
+        "kind": n.kind,
+        "rows_in": n.rows_in,
+        "rows_out": n.rows_out,
+        "udf_calls": n.udf_calls,
+        "cpu_per_call": n.cpu_per_call,
+        "runs": n.runs,
+        "last_seen": n.last_seen,
+    }
+
+
+def _source_row(s: SourceObservation) -> dict:
+    return {
+        "rows": s.rows,
+        "scan_bytes": s.scan_bytes,
+        "runs": s.runs,
+        "last_seen": s.last_seen,
+    }
+
+
+def _plan_row(p: PlanStats) -> dict:
+    return {
+        "seconds": p.seconds,
+        "runs": p.runs,
+        "last_seen": p.last_seen,
+        "wall_seconds": p.wall_seconds,
+        "wall_runs": p.wall_runs,
+    }

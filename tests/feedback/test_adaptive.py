@@ -65,9 +65,11 @@ class TestFeedbackImprovesThePick:
         assert final.pick_seconds <= round0.pick_seconds
         assert final.qerror.median <= round0.qerror.median
 
-    def test_loop_reaches_fixed_point(self):
+    def test_loop_reaches_fixed_point(self, make_store):
         workload = SMALL_BUILDERS["tpch_q15"]()
-        report = AdaptiveOptimizer(workload, picks=5).run(feedback_rounds=5)
+        report = AdaptiveOptimizer(
+            workload, store=make_store(), picks=5
+        ).run(feedback_rounds=5)
         assert report.converged
         # Fixed point well before the round limit: identical data can't
         # keep teaching the estimator new statistics.

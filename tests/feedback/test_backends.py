@@ -1,0 +1,294 @@
+"""The persistence layer under the statistics store.
+
+Covers the :class:`~repro.feedback.backends.StatsBackend` contract both
+implementations must honor — generation counters, optimistic-conflict
+detection, transactional commits — plus each backend's own guarantees:
+atomic (torn-write-safe) JSON replacement with crash recovery, and
+sqlite schema migrations from a hand-crafted v1 database.
+"""
+
+import json
+import os
+import signal
+import sqlite3
+
+import pytest
+
+from repro.core.errors import FeedbackError
+from repro.feedback import (
+    BackendConflict,
+    CommitDelta,
+    JsonBackend,
+    SqliteBackend,
+    StatisticsStore,
+    StatsBackend,
+    open_backend,
+    sniff_backend,
+)
+from repro.feedback.backends.json_backend import write_json_atomic
+from repro.feedback.backends.sqlite_backend import SCHEMA_VERSION
+from repro.feedback.observation import ExecutionObservation, OpObservation
+
+
+def obs(key="k1", rows_out=40, seconds=2.0, run_id=None, wall=0.0):
+    return ExecutionObservation(
+        plan_key="p1",
+        seconds=seconds,
+        ops=(
+            OpObservation(
+                key=key,
+                op_name=key,
+                kind="map",
+                rows_in=100,
+                rows_out=rows_out,
+                udf_calls=100,
+                cpu_per_call=1.5,
+                disk_bytes=0.0,
+            ),
+        ),
+        run_id=run_id,
+        wall_seconds=wall,
+    )
+
+
+class TestSniffing:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("stats.json", "json"),
+            ("stats.sqlite", "sqlite"),
+            ("stats.sqlite3", "sqlite"),
+            ("stats.db", "sqlite"),
+            ("stats.SQLITE", "sqlite"),
+            ("stats", "json"),
+            ("stats.txt", "json"),
+        ],
+    )
+    def test_extension_sniffing(self, name, expected):
+        assert sniff_backend(name) == expected
+
+    def test_explicit_name_overrides_extension(self, tmp_path):
+        backend = open_backend(tmp_path / "stats.json", "sqlite")
+        assert isinstance(backend, SqliteBackend)
+        backend.close()
+
+    def test_unknown_backend_name_rejected(self, tmp_path):
+        with pytest.raises(FeedbackError, match="unknown statistics backend"):
+            open_backend(tmp_path / "stats.json", "parquet")
+
+    def test_both_backends_satisfy_the_protocol(self, tmp_path):
+        assert isinstance(JsonBackend(tmp_path / "a.json"), StatsBackend)
+        sqlite_backend = SqliteBackend(tmp_path / "a.sqlite")
+        assert isinstance(sqlite_backend, StatsBackend)
+        sqlite_backend.close()
+
+
+@pytest.fixture(params=["json", "sqlite"])
+def backend(request, tmp_path):
+    backend = open_backend(tmp_path / f"stats.{request.param}", request.param)
+    yield backend
+    backend.close()
+
+
+class TestBackendContract:
+    def test_fresh_backend_loads_empty_at_generation_zero(self, backend):
+        payload, generation = backend.load()
+        assert payload is None
+        assert generation == 0
+        assert backend.generation() == 0
+
+    def test_commit_bumps_generation_and_round_trips(self, backend):
+        store = StatisticsStore()
+        delta = store._fold(obs())
+        generation = backend.commit(store.to_dict(), delta, 0)
+        assert generation == 1
+        payload, loaded_generation = backend.load()
+        assert loaded_generation == 1
+        assert StatisticsStore.from_dict(payload).to_dict() == store.to_dict()
+
+    def test_stale_expectation_conflicts_and_changes_nothing(self, backend):
+        store = StatisticsStore()
+        delta = store._fold(obs())
+        backend.commit(store.to_dict(), delta, 0)
+        before = backend.load()
+        with pytest.raises(BackendConflict):
+            backend.commit(store.to_dict(), delta, 0)  # stale: now at 1
+        assert backend.load() == before
+
+    def test_store_ingest_retries_through_conflicts(self, backend):
+        a = StatisticsStore.open(backend.path)
+        b = StatisticsStore.open(backend.path)
+        a.ingest(obs(rows_out=10))
+        b.ingest(obs(rows_out=90))  # conflicts, reloads, re-folds
+        a.sync()
+        assert a.version == b.version == 2
+        assert a.estimator_view() == b.estimator_view()
+        # EMA folded both observations in commit order: 10 then 90.
+        assert a.nodes["k1"].rows_out == 0.5 * 90 + 0.5 * 10
+
+    def test_generation_counts_commits_from_any_writer(self, backend):
+        a = StatisticsStore.open(backend.path)  # creation commit: gen 1
+        b = StatisticsStore.open(backend.path)
+        for i in range(3):
+            (a if i % 2 else b).ingest(obs(rows_out=i))
+        assert backend.generation() == 4  # 1 creation + 3 ingests
+
+    def test_run_dedupe_map_is_persisted(self, backend):
+        writer = StatisticsStore.open(backend.path)
+        writer.ingest(obs(run_id="run-7", seconds=1.0))
+        reader = StatisticsStore.open(backend.path)
+        assert reader._run_ingested == {"run-7": {"k1"}}
+        reader.ingest(obs(run_id="run-7", rows_out=999))
+        assert reader.nodes["k1"].runs == 1  # deduped across processes
+
+
+class TestAtomicJsonWrites:
+    def test_write_lands_complete_or_not_at_all(self, tmp_path):
+        path = tmp_path / "stats.json"
+        write_json_atomic(path, {"a": 1})
+        assert json.loads(path.read_text()) == {"a": 1}
+        assert list(tmp_path.iterdir()) == [path]  # no tmp litter
+
+    def test_crash_between_write_and_replace_keeps_old_state(self, tmp_path):
+        """Kill the writer after the temp file is written but before the
+        atomic rename: the store file must still hold the previous state
+        and reload cleanly."""
+        path = tmp_path / "stats.json"
+        store = StatisticsStore.open(path)
+        store.ingest(obs(rows_out=10))
+        good = path.read_text()
+
+        child = os.fork()
+        if child == 0:  # pragma: no cover - exercised in the fork
+            # Crash at the worst instant: after fsync, before replace.
+            os.replace = lambda *_: os.kill(os.getpid(), signal.SIGKILL)
+            reopened = StatisticsStore.open(path)
+            reopened.ingest(obs(rows_out=999))
+            os._exit(0)  # unreachable
+        _, status = os.waitpid(child, 0)
+        assert os.WIFSIGNALED(status) and os.WTERMSIG(status) == signal.SIGKILL
+
+        assert path.read_text() == good
+        survivor = StatisticsStore.open(path)
+        assert survivor.nodes["k1"].rows_out == 10.0
+
+    def test_torn_file_raises_clean_feedback_error(self, tmp_path):
+        """A simulated torn write (truncated JSON, as the seed's
+        ``write_text`` could leave behind) fails loudly, not obscurely."""
+        path = tmp_path / "stats.json"
+        StatisticsStore().save(path)
+        path.write_text(path.read_text()[: path.stat().st_size // 2])
+        with pytest.raises(FeedbackError, match="not valid JSON"):
+            StatisticsStore.load(path)
+        with pytest.raises(FeedbackError, match="not valid JSON"):
+            StatisticsStore.open(path)
+
+    def test_plain_save_export_opens_as_generation_zero(self, tmp_path):
+        path = tmp_path / "stats.json"
+        store = StatisticsStore()
+        store.ingest(obs())
+        store.save(path)  # backend-less export: no generation key
+        attached = StatisticsStore.open(path)
+        assert attached.generation == 0
+        assert attached.estimator_view() == store.estimator_view()
+
+
+class TestSqliteMigrations:
+    def _make_v1_db(self, path):
+        """A database exactly as schema v1 would have written it."""
+        con = sqlite3.connect(path)
+        con.execute("CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT)")
+        con.execute(
+            "CREATE TABLE nodes (key TEXT PRIMARY KEY, op_name TEXT NOT NULL,"
+            " kind TEXT NOT NULL, rows_in REAL NOT NULL, rows_out REAL NOT"
+            " NULL, udf_calls REAL NOT NULL, cpu_per_call REAL NOT NULL,"
+            " runs INTEGER NOT NULL, last_seen INTEGER NOT NULL)"
+        )
+        con.execute(
+            "CREATE TABLE sources (name TEXT PRIMARY KEY, rows REAL NOT NULL,"
+            " scan_bytes REAL NOT NULL, runs INTEGER NOT NULL,"
+            " last_seen INTEGER NOT NULL)"
+        )
+        con.execute(
+            "CREATE TABLE plans (key TEXT PRIMARY KEY, seconds REAL NOT NULL,"
+            " runs INTEGER NOT NULL, last_seen INTEGER NOT NULL)"
+        )
+        con.execute(
+            "INSERT INTO nodes VALUES ('k1','k1','map',100,40,100,1.5,1,1)"
+        )
+        con.execute("INSERT INTO plans VALUES ('p1', 2.0, 1, 1)")
+        con.executemany(
+            "INSERT INTO meta VALUES (?,?)",
+            [
+                ("generation", "1"),
+                ("version", "1"),
+                ("decay", "0.5"),
+                ("staleness_horizon", "null"),
+            ],
+        )
+        con.execute("PRAGMA user_version = 1")
+        con.commit()
+        con.close()
+
+    def test_v1_database_upgrades_in_place(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        self._make_v1_db(path)
+        store = StatisticsStore.open(path)
+        assert store.version == 1
+        assert store.nodes["k1"].rows_out == 40.0
+        # The migrated plans gained wall columns with empty defaults.
+        assert store.plans["p1"].seconds == 2.0
+        assert store.plans["p1"].wall_runs == 0
+        assert store.plan_wall_seconds("p1") is None
+        con = sqlite3.connect(path)
+        (user_version,) = con.execute("PRAGMA user_version").fetchone()
+        con.close()
+        assert user_version == SCHEMA_VERSION
+
+    def test_migrated_store_keeps_learning(self, tmp_path):
+        path = tmp_path / "old.sqlite"
+        self._make_v1_db(path)
+        store = StatisticsStore.open(path)
+        store.ingest(obs(rows_out=90, wall=0.25))
+        reloaded = StatisticsStore.open(path)
+        assert reloaded.nodes["k1"].rows_out == 0.5 * 90 + 0.5 * 40
+        assert reloaded.plan_wall_seconds("p1") == 0.25
+
+    def test_newer_schema_than_this_build_fails_loudly(self, tmp_path):
+        path = tmp_path / "future.sqlite"
+        con = sqlite3.connect(path)
+        con.execute(f"PRAGMA user_version = {SCHEMA_VERSION + 1}")
+        con.commit()
+        con.close()
+        with pytest.raises(FeedbackError, match="newer than this build"):
+            SqliteBackend(path)
+
+    def test_fresh_database_walks_the_whole_chain(self, tmp_path):
+        backend = SqliteBackend(tmp_path / "fresh.sqlite")
+        (user_version,) = backend._con.execute(
+            "PRAGMA user_version"
+        ).fetchone()
+        assert user_version == SCHEMA_VERSION
+        (mode,) = backend._con.execute("PRAGMA journal_mode").fetchone()
+        assert mode == "wal"
+        backend.close()
+
+
+class TestMigrateAcrossBackends:
+    @pytest.mark.parametrize(
+        "src_suffix,dst_suffix",
+        [(".json", ".sqlite"), (".sqlite", ".json")],
+    )
+    def test_migration_is_lossless_both_ways(
+        self, tmp_path, src_suffix, dst_suffix
+    ):
+        source = StatisticsStore.open(tmp_path / f"src{src_suffix}")
+        source.ingest(obs(rows_out=10, run_id="run-1", wall=0.5))
+        source.ingest(obs(key="k2", rows_out=77, seconds=9.0))
+        migrated = source.migrate_to(tmp_path / f"dst{dst_suffix}")
+        assert migrated.estimator_view() == source.estimator_view()
+        assert migrated.to_dict() == source.to_dict()
+        assert migrated._run_ingested == source._run_ingested
+        assert migrated.plan_wall_seconds("p1") == source.plan_wall_seconds(
+            "p1"
+        )

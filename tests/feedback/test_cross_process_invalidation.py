@@ -1,0 +1,175 @@
+"""Property test: cross-process invalidation is exact and bit-identical.
+
+Two processes share one sqlite statistics store.  The child ingests
+random observations and exits; the parent's :meth:`StatisticsStore.sync`
+must (a) return *exactly* the operator names whose estimator view the
+foreign commit changed, and (b) leave the store in a state where
+re-optimizing over the invalidated memo is bit-identical to a cold
+rebuild reading the store fresh from disk — the same invariant the
+single-process dirty-spine property test
+(``tests/optimizer/test_memo_invalidation_property.py``) pins, now
+across a process boundary and a persistence backend.
+"""
+
+import os
+import tempfile
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import AnnotationMode
+from repro.core.operators import Source, UdfOperator
+from repro.core.plan import body as plan_body, iter_nodes, signature
+from repro.feedback import FeedbackEstimator, StatisticsStore
+from repro.feedback.observation import ExecutionObservation, OpObservation
+from repro.optimizer import Optimizer
+from repro.workloads import (
+    build_clickstream,
+    build_q7,
+    build_q15,
+    build_textmining,
+)
+
+WORKLOADS = {
+    "tpch_q15": build_q15(),
+    "clickstream": build_clickstream(),
+    "textmining": build_textmining(),
+    "tpch_q7": build_q7(),
+}
+
+
+def udf_op_names(workload):
+    return sorted(
+        n.op.name
+        for n in iter_nodes(plan_body(workload.plan))
+        if isinstance(n.op, UdfOperator)
+    )
+
+
+@st.composite
+def foreign_ingests(draw):
+    """A workload plus a random foreign observation over 1-3 of its ops."""
+    name = draw(st.sampled_from(sorted(WORKLOADS)))
+    ops = draw(
+        st.lists(
+            st.sampled_from(udf_op_names(WORKLOADS[name])),
+            min_size=1,
+            max_size=3,
+            unique=True,
+        )
+    )
+    rows = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=5000),
+            min_size=len(ops),
+            max_size=len(ops),
+        )
+    )
+    return name, list(zip(ops, rows))
+
+
+def _observation(measured):
+    return ExecutionObservation(
+        plan_key="foreign-plan",
+        seconds=1.0,
+        ops=tuple(
+            OpObservation(
+                key=f"foreign({name})",
+                op_name=name,
+                kind="map",
+                rows_in=rows * 2,
+                rows_out=rows,
+                udf_calls=rows * 2,
+                cpu_per_call=1.25,
+                disk_bytes=0.0,
+            )
+            for name, rows in measured
+        ),
+    )
+
+
+def _feedback_optimizer(workload, store):
+    return Optimizer(
+        workload.catalog,
+        workload.hints,
+        AnnotationMode.SCA,
+        workload.params,
+        estimator_factory=lambda ctx, hints: FeedbackEstimator(
+            ctx, hints, store
+        ),
+    )
+
+
+def assert_identical(got, want, estimator_got, estimator_want):
+    assert got.plan_count == want.plan_count
+    for g, w in zip(got.ranked, want.ranked):
+        assert g.rank == w.rank
+        assert signature(g.body) == signature(w.body)
+        assert g.cost == w.cost  # exact float equality
+        assert g.physical.describe() == w.physical.describe()
+    for node in iter_nodes(got.best.body):
+        if isinstance(node.op, Source):
+            continue
+        g = estimator_got.estimate(node)
+        w = estimator_want.estimate(node)
+        assert (g.rows, g.width, g.calls) == (w.rows, w.width, w.calls)
+
+
+@given(foreign_ingests())
+@settings(max_examples=10, deadline=None)
+def test_foreign_commit_invalidates_exactly_and_reoptimizes_identically(case):
+    name, measured = case
+    workload = WORKLOADS[name]
+    observation = _observation(measured)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp, "shared.sqlite")
+        store = StatisticsStore.open(path)
+        optimizer = _feedback_optimizer(workload, store)
+        memo = optimizer.new_memo()
+        optimizer.optimize(workload.plan, memo=memo)
+
+        # The expected dirty set, computed on a replica: the fold is
+        # deterministic, so the child's commit lands the same state.
+        before = store.estimator_view()
+        replica = StatisticsStore.from_dict(store.to_dict())
+        replica.ingest(observation)
+        after = replica.estimator_view()
+        expected = frozenset(
+            op
+            for op in before.keys() | after.keys()
+            if before.get(op) != after.get(op)
+        )
+        assert expected == frozenset(op for op, _ in measured)
+
+        child = os.fork()
+        if child == 0:  # pragma: no cover - exercised in the fork
+            # The child must NOT touch the parent's inherited sqlite
+            # connection: it opens the shared store independently.
+            writer = StatisticsStore.open(path)
+            writer.ingest(observation)
+            os._exit(0)
+        _, status = os.waitpid(child, 0)
+        assert os.WEXITSTATUS(status) == 0
+
+        # (a) sync reports exactly the foreign dirty set...
+        changed = store.sync()
+        assert changed == expected
+        assert store.estimator_view() == after
+        # ...and is idempotent once incorporated.
+        assert store.sync() == frozenset()
+
+        # (b) dirty-spine re-optimization over the synced store is
+        # bit-identical to a cold rebuild reading the store from disk.
+        memo.invalidate(set(changed))
+        incremental = optimizer.optimize(workload.plan, memo=memo)
+        cold_store = StatisticsStore.open(path)
+        reference = _feedback_optimizer(workload, cold_store)
+        full = reference.optimize(workload.plan)
+        assert_identical(
+            incremental,
+            full,
+            optimizer.last_estimator,
+            reference.last_estimator,
+        )

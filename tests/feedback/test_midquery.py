@@ -103,11 +103,11 @@ class TestThresholdSemantics:
 
 
 class TestLearningTransfer:
-    def test_observations_are_keyed_like_ordinary_plans(self):
+    def test_observations_are_keyed_like_ordinary_plans(self, make_store):
         """Stats learned across a switch must transfer to future full-plan
         optimizations: no synthetic boundary name may leak into the store."""
         workload, hints = mis_hinted(ClickScale(sessions=250))
-        store = StatisticsStore()
+        store = make_store()
         run_midquery(workload, hints=hints, store=store, switch_threshold=1.1)
         assert store.nodes  # the run actually learned something
         for key in store.nodes:
@@ -115,11 +115,13 @@ class TestLearningTransfer:
         for name in store.sources:
             assert "stage:" not in name
 
-    def test_store_learned_mid_query_fixes_the_next_optimization(self):
+    def test_store_learned_mid_query_fixes_the_next_optimization(
+        self, make_store
+    ):
         """What a switched run learned must re-rank the next cold
         optimization onto the good plan."""
         workload, hints = mis_hinted(ClickScale(sessions=250))
-        store = StatisticsStore()
+        store = make_store()
         experiment = run_midquery(
             workload, hints=hints, store=store, switch_threshold=1.1
         )
@@ -165,9 +167,9 @@ class TestAdaptiveIntegration:
         assert any(d.switched for d in fixed.midquery)
         assert fixed.pick_seconds < cold.pick_seconds
 
-    def test_midquery_disabled_rounds_record_no_decisions(self):
+    def test_midquery_disabled_rounds_record_no_decisions(self, make_store):
         workload = build_clickstream(ClickScale(sessions=250))
-        adaptive = AdaptiveOptimizer(workload, store=StatisticsStore(), picks=2)
+        adaptive = AdaptiveOptimizer(workload, store=make_store(), picks=2)
         report = adaptive.run(0)
         assert report.rounds[0].midquery == []
 

@@ -34,8 +34,8 @@ def op_obs(key, rows_out=100, udf_calls=40):
 
 
 class TestRunIdDedupe:
-    def test_stage_delta_then_whole_run_counts_each_op_once(self):
-        store = StatisticsStore()
+    def test_stage_delta_then_whole_run_counts_each_op_once(self, make_store):
+        store = make_store()
         delta = ExecutionObservation(
             plan_key="b(a)",
             seconds=1.0,
@@ -106,7 +106,10 @@ class TestRunIdDedupe:
         assert store.plans == {}
         assert store.nodes["a"].runs == 1
 
-    def test_dedupe_state_is_transient(self):
+    def test_dedupe_state_survives_round_trip(self):
+        """The (signature, run-id) dedupe map is persisted with the
+        store, so a whole-run ingest cannot double-count a stage delta
+        even when the two land through different processes."""
         store = StatisticsStore()
         store.ingest(
             ExecutionObservation(
@@ -119,7 +122,17 @@ class TestRunIdDedupe:
         )
         reloaded = StatisticsStore.from_dict(store.to_dict())
         assert reloaded.nodes["a"].rows_out == store.nodes["a"].rows_out
-        assert reloaded._run_ingested == {}
+        assert reloaded._run_ingested == {"run-1": {"a"}}
+        # The reloaded store refuses to re-count the deduped operator.
+        reloaded.ingest(
+            ExecutionObservation(
+                plan_key="a",
+                seconds=5.0,
+                ops=(op_obs("a"),),
+                run_id="run-1",
+            )
+        )
+        assert reloaded.nodes["a"].runs == 1
 
 
 class TestStagedRunEndToEnd:

@@ -84,6 +84,109 @@ def test_experiment_with_feedback_rounds(capsys, tmp_path):
     assert "round 0:" in out
 
 
+def test_experiment_with_sqlite_store_sniffed_from_extension(
+    capsys, tmp_path
+):
+    store = tmp_path / "stats.sqlite"
+    assert (
+        main(
+            [
+                "experiment",
+                "tpch_q15",
+                "--picks",
+                "3",
+                "--feedback-rounds",
+                "1",
+                "--stats-store",
+                str(store),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "round 0:" in out and "round 1:" in out
+    assert store.exists()
+    assert store.read_bytes().startswith(b"SQLite format 3")
+
+
+def test_experiment_stats_backend_overrides_extension(capsys, tmp_path):
+    store = tmp_path / "stats.json"  # sniffs json; the flag wins
+    assert (
+        main(
+            [
+                "experiment",
+                "tpch_q15",
+                "--picks",
+                "3",
+                "--feedback-rounds",
+                "1",
+                "--stats-store",
+                str(store),
+                "--stats-backend",
+                "sqlite",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert store.read_bytes().startswith(b"SQLite format 3")
+
+
+def test_stats_migrate_json_to_sqlite(capsys, tmp_path):
+    src = tmp_path / "stats.json"
+    dst = tmp_path / "stats.sqlite"
+    assert (
+        main(
+            [
+                "experiment",
+                "tpch_q15",
+                "--picks",
+                "3",
+                "--feedback-rounds",
+                "1",
+                "--stats-store",
+                str(src),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert main(["stats", "migrate", str(src), str(dst)]) == 0
+    out = capsys.readouterr().out
+    assert "estimator view verified identical" in out
+    # The migrated store warm-starts the adaptive loop.
+    assert (
+        main(
+            [
+                "experiment",
+                "tpch_q15",
+                "--picks",
+                "3",
+                "--stats-store",
+                str(dst),
+            ]
+        )
+        == 0
+    )
+    assert "round 0:" in capsys.readouterr().out
+
+
+def test_stats_migrate_refuses_to_clobber_without_force(capsys, tmp_path):
+    src = tmp_path / "stats.json"
+    dst = tmp_path / "existing.sqlite"
+    dst.touch()
+    assert main(["stats", "migrate", str(src), str(dst)]) == 2
+    assert "use --force" in capsys.readouterr().err
+
+
+def test_stats_migrate_reports_unreadable_source(capsys, tmp_path):
+    src = tmp_path / "torn.json"
+    src.write_text('{"version": ')  # torn write
+    dst = tmp_path / "out.sqlite"
+    assert main(["stats", "migrate", str(src), str(dst)]) == 1
+    assert "migration failed" in capsys.readouterr().err
+
+
 def test_unknown_workload_rejected():
     with pytest.raises(SystemExit):
         main(["analyze", "nope"])
