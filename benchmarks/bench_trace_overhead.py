@@ -1,0 +1,149 @@
+"""Tracing overhead bench: observing a run must not change its price.
+
+Runs the clickstream pick to completion ``TRACE_OVERHEAD_ITERATIONS``
+times untraced and as many times under a live :class:`repro.obs.Tracer`,
+interleaved so thermal drift hits both sides equally, and compares
+min-of-N wall clocks.  Every pass is also asserted bit-identical to the
+untraced reference — the tracer is a pure observer on the wall-clock
+axis only.
+
+Two overheads are reported:
+
+* ``tracing_on_overhead`` — min traced wall / min untraced wall.  The
+  trend-gated headline (lower is better); the <= 1.10 acceptance bar
+  binds on the cleanest interleaved pair, which noise can only inflate.
+* ``tracing_off_overhead`` — the default no-op tracer's cost, estimated
+  machine-relatively: a microbenchmarked per-noop-span cost times the
+  number of span sites the run actually hits, over the untraced wall.
+  Bar: <= 1.02.
+
+Environment knobs (defaults are the CI configuration)::
+
+    TRACE_OVERHEAD_SCALE_FACTOR=8   # clickstream datagen scale
+    TRACE_OVERHEAD_ITERATIONS=5     # passes per side (min-of-N)
+"""
+
+import json
+import os
+
+from conftest import write_result
+
+from repro.core import AnnotationMode
+from repro.engine import Engine
+from repro.obs import NOOP_TRACER, Tracer, clock
+from repro.optimizer import Optimizer
+from repro.workloads import build_clickstream
+
+SCALE_FACTOR = float(os.environ.get("TRACE_OVERHEAD_SCALE_FACTOR", "8"))
+ITERATIONS = int(os.environ.get("TRACE_OVERHEAD_ITERATIONS", "5"))
+
+#: Acceptance bars (ratios over the untraced run).
+ON_BAR = 1.10
+OFF_BAR = 1.02
+
+#: Spins for the noop-span microbenchmark.
+NOOP_SPINS = 200_000
+
+
+def _noop_span_cost() -> float:
+    """Per-call cost of a guarded no-op span site on this machine."""
+    start = clock()
+    for _ in range(NOOP_SPINS):
+        with NOOP_TRACER.span("bench", category="engine", op="x"):
+            pass
+    return (clock() - start) / NOOP_SPINS
+
+
+def _pass(workload, plan, tracer):
+    engine = Engine(
+        workload.params, workload.true_costs,
+        tracer=NOOP_TRACER if tracer is None else tracer,
+    )
+    start = clock()
+    result = engine.execute(plan, workload.data)
+    return result, clock() - start
+
+
+def test_trace_overhead(results_dir):
+    workload = build_clickstream(scale_factor=SCALE_FACTOR)
+    optimized = Optimizer(
+        workload.catalog, workload.hints, AnnotationMode.SCA, workload.params
+    ).optimize(workload.plan)
+    plan = optimized.best.physical
+
+    reference, _ = _pass(workload, plan, None)  # warm-up, not timed
+    untraced_walls: list[float] = []
+    traced_walls: list[float] = []
+    span_sites = 0
+    for iteration in range(ITERATIONS):
+        # Alternate which side runs first so allocator/GC state after the
+        # first pass of an iteration penalizes both sides equally.
+        sides = ["untraced", "traced"]
+        if iteration % 2:
+            sides.reverse()
+        for side in sides:
+            tracer = None if side == "untraced" else Tracer()
+            result, wall = _pass(workload, plan, tracer)
+            # The tracer is a pure observer: bit-identical results.
+            assert result.records == reference.records
+            assert result.report.per_op == reference.report.per_op
+            assert result.seconds == reference.seconds
+            if tracer is None:
+                untraced_walls.append(wall)
+            else:
+                traced_walls.append(wall)
+                span_sites = len(tracer.spans)
+
+    untraced = min(untraced_walls)
+    traced = min(traced_walls)
+    on_overhead = traced / untraced
+    # Paired per-iteration ratios cancel slow machine drift; noise can
+    # only inflate a ratio, so the cleanest pair bounds the true
+    # overhead from above with the least noise.
+    paired = [t / u for t, u in zip(traced_walls, untraced_walls)]
+    best_paired = min(paired)
+    noop_cost = _noop_span_cost()
+    off_overhead = 1.0 + span_sites * noop_cost / untraced
+
+    report = {
+        "workload": workload.name,
+        "scale_factor": SCALE_FACTOR,
+        "iterations": ITERATIONS,
+        "rows_scanned": reference.report.rows_scanned,
+        "span_sites": span_sites,
+        "untraced_wall_seconds": untraced,
+        "traced_wall_seconds": traced,
+        "untraced_wall_samples": untraced_walls,
+        "traced_wall_samples": traced_walls,
+        "noop_span_cost_seconds": noop_cost,
+        # The trend-gated headline: live-tracer wall over untraced wall,
+        # min-of-N on both sides so the committed baseline is a
+        # machine-relative ratio, not an absolute time.
+        "tracing_on_overhead": on_overhead,
+        "tracing_on_overhead_paired": paired,
+        "tracing_on_overhead_best_pair": best_paired,
+        "tracing_off_overhead": off_overhead,
+        "note": (
+            "tracing_on_overhead = min traced wall / min untraced wall "
+            f"(bar <= {ON_BAR}); tracing_off_overhead = 1 + span_sites x "
+            f"microbenched noop-span cost / untraced wall (bar <= {OFF_BAR})"
+        ),
+    }
+    write_result(
+        results_dir,
+        "trace_overhead.json",
+        json.dumps(report, indent=2, sort_keys=True),
+    )
+
+    assert span_sites > 0  # the traced runs actually traced
+    assert off_overhead <= OFF_BAR, (
+        f"default no-op tracer costs {(off_overhead - 1) * 100:.2f}% "
+        f"({span_sites} sites x {noop_cost * 1e9:.0f}ns)"
+    )
+    # The hard bar binds on the cleanest interleaved pair (noise only
+    # ever inflates a ratio); the trend gate holds the min-of-N headline
+    # to the committed baseline on top.
+    assert best_paired <= ON_BAR, (
+        f"live tracing costs {(best_paired - 1) * 100:.1f}% wall even in "
+        f"the cleanest of {ITERATIONS} interleaved pairs"
+    )

@@ -17,6 +17,7 @@ Usage::
     python benchmarks/compare_trend.py                       # gate all known results
     python benchmarks/compare_trend.py results/midquery.json # gate one
     python benchmarks/compare_trend.py --write-baselines     # refresh snapshots
+    python benchmarks/compare_trend.py --write-baselines results/soak.json  # one
 
 Run from anywhere; paths resolve relative to this file.
 """
@@ -87,6 +88,13 @@ HEADLINES: dict[str, Headline] = {
         True,
         "contended 4-writer sqlite ingests/sec vs curated floor",
     ),
+    # Live-tracer wall over untraced wall (1.0 = tracing is free):
+    # machine-relative ratio, lower is better.
+    "trace_overhead.json": Headline(
+        ("tracing_on_overhead",),
+        False,
+        "live-tracer wall / untraced wall (1.0 = free)",
+    ),
 }
 
 
@@ -114,8 +122,23 @@ def gate(result_path: Path) -> str | None:
         )
     if not result_path.exists():
         return f"{name}: result {result_path} missing — did the bench run?"
-    current = extract(json.loads(result_path.read_text()), headline.path)
-    baseline = extract(json.loads(baseline_path.read_text()), headline.path)
+    try:
+        current = extract(json.loads(result_path.read_text()), headline.path)
+    except (KeyError, IndexError, TypeError) as exc:
+        return (
+            f"{name}: headline key path {headline.path!r} not found in "
+            f"{result_path} ({exc.__class__.__name__}: {exc}) — the bench's "
+            "report schema and compare_trend.py disagree"
+        )
+    try:
+        baseline = extract(json.loads(baseline_path.read_text()), headline.path)
+    except (KeyError, IndexError, TypeError) as exc:
+        return (
+            f"{name}: headline key path {headline.path!r} not found in the "
+            f"committed baseline {baseline_path} "
+            f"({exc.__class__.__name__}: {exc}) — refresh it with "
+            "`python benchmarks/compare_trend.py --write-baselines`"
+        )
     if baseline <= 0:
         return f"{name}: non-positive baseline {baseline} is not gateable"
     if headline.higher_is_better:
@@ -150,6 +173,16 @@ def write_baselines(paths: list[Path]) -> int:
     return 0
 
 
+def resolve(path: Path) -> Path:
+    """Make explicit result paths work from any cwd: fall back to
+    resolving against this file's directory (``results/soak.json`` names
+    ``benchmarks/results/soak.json`` from the repo root too)."""
+    if path.exists() or path.is_absolute():
+        return path
+    candidate = BENCH_DIR / path
+    return candidate if candidate.exists() else path
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -165,7 +198,7 @@ def main(argv: list[str] | None = None) -> int:
         help="snapshot fresh results into benchmarks/baselines/",
     )
     args = parser.parse_args(argv)
-    paths = args.results or [
+    paths = [resolve(path) for path in args.results] or [
         RESULTS_DIR / name
         for name in sorted(HEADLINES)
         if (RESULTS_DIR / name).exists()

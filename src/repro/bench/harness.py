@@ -88,6 +88,7 @@ def run_experiment(
     midquery: bool = False,
     switch_threshold: float = DEFAULT_SWITCH_THRESHOLD,
     engine_jobs: int = 1,
+    tracer=None,
 ) -> ExperimentOutcome:
     """Optimize a workload, execute rank-picked plans, collect the outcome.
 
@@ -115,15 +116,23 @@ def run_experiment(
     ``engine_jobs > 1`` executes each plan's pipeline-stage partitions
     across a fork-based worker pool; records, per-op metrics, and modeled
     seconds are bit-identical to serial execution.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) threads wall-clock spans
+    through the optimizer, the engine, and — under feedback rounds — the
+    statistics store and mid-query controller; the default no-op tracer
+    leaves every result bit-identical.
     """
     if feedback_rounds > 0 or stats_store is not None:
         return _run_feedback_experiment(
             workload, picks, mode, params, execute_all, feedback_rounds,
             stats_store, stats_backend, jobs, midquery, switch_threshold,
-            engine_jobs,
+            engine_jobs, tracer,
         )
     params = params or workload.params
-    optimizer = Optimizer(workload.catalog, workload.hints, mode, params, jobs=jobs)
+    optimizer = Optimizer(
+        workload.catalog, workload.hints, mode, params, jobs=jobs,
+        tracer=tracer,
+    )
     result = optimizer.optimize(workload.plan)
     # Rank-picked plans share most of their physical subtrees; reuse
     # their deterministic execution results across the picks.
@@ -132,6 +141,7 @@ def run_experiment(
         workload.true_costs,
         reuse_subtree_results=True,
         engine_jobs=engine_jobs,
+        tracer=tracer,
     )
 
     outcome = ExperimentOutcome(
@@ -168,6 +178,7 @@ def run_experiment(
                 outcome.executed[0].result if outcome.executed else None
             ),
             engine_jobs=engine_jobs,
+            tracer=tracer,
         )
     return outcome
 
@@ -185,6 +196,7 @@ def _run_feedback_experiment(
     midquery: bool = False,
     switch_threshold: float = DEFAULT_SWITCH_THRESHOLD,
     engine_jobs: int = 1,
+    tracer=None,
 ) -> ExperimentOutcome:
     """The Section 7.3 protocol driven through the adaptive feedback loop."""
     params = params or workload.params
@@ -199,7 +211,7 @@ def _run_feedback_experiment(
     adaptive = AdaptiveOptimizer(
         workload, store=store, mode=mode, params=params, picks=picks,
         jobs=jobs, midquery=midquery, switch_threshold=switch_threshold,
-        engine_jobs=engine_jobs,
+        engine_jobs=engine_jobs, tracer=tracer,
     )
     report = adaptive.run(feedback_rounds)
     final = report.final

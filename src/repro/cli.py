@@ -12,6 +12,8 @@ Usage::
     python -m repro experiment tpch_q7 --jobs 4
     python -m repro experiment textmining --scale 400 --engine-jobs 4
     python -m repro experiment clickstream --midquery --switch-threshold 1.1
+    python -m repro experiment clickstream --trace trace.json
+    python -m repro trace summarize trace.json
     python -m repro stats migrate stats.json stats.sqlite
 """
 
@@ -85,6 +87,11 @@ def cmd_enumerate(args) -> int:
 
 def cmd_experiment(args) -> int:
     workload = ALL_WORKLOADS[args.workload](scale_factor=args.scale)
+    tracer = None
+    if args.trace:
+        from .obs import Tracer
+
+        tracer = Tracer()
     outcome = run_experiment(
         workload,
         picks=args.picks,
@@ -97,6 +104,7 @@ def cmd_experiment(args) -> int:
         midquery=args.midquery,
         switch_threshold=args.switch_threshold,
         engine_jobs=args.engine_jobs,
+        tracer=tracer,
     )
     print(render_figure(outcome, f"Experiment — {workload.name}"))
     if outcome.feedback is not None:
@@ -107,7 +115,31 @@ def cmd_experiment(args) -> int:
     if outcome.midquery is not None:
         print()
         print(outcome.midquery.describe())
+    if tracer is not None:
+        from .obs import write_prometheus, write_trace
+
+        count = write_trace(tracer, args.trace, fmt=args.trace_format)
+        print(f"\ntrace: {count} span(s) written to {args.trace}")
+        if args.trace_metrics:
+            write_prometheus(tracer, args.trace_metrics)
+            print(f"metrics snapshot written to {args.trace_metrics}")
     return 0
+
+
+def cmd_trace_summarize(args) -> int:
+    from .obs import load_trace, render_summary
+
+    try:
+        spans = load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read trace {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    print(render_summary(spans, top=args.top))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    return args.trace_fn(args)
 
 
 def cmd_stats_migrate(args) -> int:
@@ -246,7 +278,48 @@ def build_parser() -> argparse.ArgumentParser:
                 "below 1.0 forces a switch at every boundary (diagnostic) "
                 f"(default {DEFAULT_SWITCH_THRESHOLD})",
             )
+            p.add_argument(
+                "--trace",
+                default=None,
+                metavar="PATH",
+                help="write a wall-clock trace of the run (optimizer, "
+                "engine stages/partitions incl. fork workers, feedback) "
+                "to PATH; format sniffed from the extension (.jsonl -> "
+                "span log, else Chrome trace-event JSON loadable in "
+                "Perfetto) unless --trace-format overrides",
+            )
+            p.add_argument(
+                "--trace-format",
+                choices=("jsonl", "chrome"),
+                default=None,
+                help="trace file format (default: sniff --trace extension)",
+            )
+            p.add_argument(
+                "--trace-metrics",
+                default=None,
+                metavar="PATH",
+                help="also write the run's deterministic counters/gauges "
+                "as a Prometheus-style text snapshot (requires --trace)",
+            )
         p.set_defaults(fn=fn)
+
+    trace = sub.add_parser("trace", help="inspect recorded traces")
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="self-time breakdown per subsystem and span of a trace "
+        "written by `repro experiment --trace`",
+    )
+    summarize.add_argument("trace", help="trace path (.jsonl or Chrome JSON)")
+    summarize.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        metavar="N",
+        help="span names to show in the self-time ranking (default 20)",
+    )
+    summarize.set_defaults(trace_fn=cmd_trace_summarize)
+    trace.set_defaults(fn=cmd_trace)
 
     stats = sub.add_parser(
         "stats", help="manage persistent statistics stores"

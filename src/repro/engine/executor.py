@@ -39,7 +39,6 @@ from __future__ import annotations
 
 import math
 import os
-import time
 import warnings
 from dataclasses import dataclass
 
@@ -55,6 +54,7 @@ from ..core.operators import (
     Source,
 )
 from ..core.record import RawRecord, record_bytes
+from ..obs.tracer import NOOP_TRACER, clock
 from ..optimizer.cost import CostParams
 from ..optimizer.physical import (
     PhysNode,
@@ -162,6 +162,7 @@ class Engine:
         stream_batch_rows: int = 1024,
         collector: "ObservationCollector | None" = None,
         engine_jobs: int = 1,
+        tracer=None,
     ) -> None:
         self.params = params or CostParams()
         self.true_costs = true_costs or {}
@@ -182,6 +183,11 @@ class Engine:
             )
             engine_jobs = 1
         self.engine_jobs = engine_jobs
+        # Wall-clock observability (repro.obs).  Tracing reads the wall
+        # clock only: records, OpMetrics, and modeled seconds are
+        # bit-identical with the tracer on or off (pinned by the tracing
+        # parity suite).  Default is the shared near-zero-overhead no-op.
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         # Measured (top node name, wall seconds) per stage of the most
         # recent execute_staged() run — the hardware-time axis the soak
         # bench reports; modeled seconds live in the ExecutionReport.
@@ -212,14 +218,19 @@ class Engine:
         if self.reuse_subtree_results and self._cache_data is not data:
             self._subtree_cache.clear()
             self._cache_data = data  # strong ref: no id-reuse hazard
-        wall_start = time.perf_counter()
-        parts = self._run(plan, data, report)
-        wall = time.perf_counter() - wall_start
-        # Internally, records flow by reference (filter-style UDFs forward
-        # the input dicts, the subtree cache replays partitions); copy at
-        # the API boundary so callers that mutate returned records cannot
-        # corrupt source data or cached results.
-        records = [dict(r) for r in gather(parts)]
+        span = self.tracer.span("engine.execute", category="engine", plan=plan.name)
+        wall_start = clock()
+        with span:
+            parts = self._run(plan, data, report)
+            # Internally, records flow by reference (filter-style UDFs
+            # forward the input dicts, the subtree cache replays
+            # partitions); copy at the API boundary so callers that mutate
+            # returned records cannot corrupt source data or cached
+            # results.
+            records = [dict(r) for r in gather(parts)]
+        wall = clock() - wall_start
+        span.set(rows_out=len(records), modeled_seconds=report.seconds)
+        self.tracer.count("engine.executions")
         result = ExecutionResult(
             records=records, report=report, wall_seconds=wall
         )
@@ -271,6 +282,10 @@ class Engine:
         current = plan
         switched = False
         parts: Partitions = []
+        root_span = self.tracer.span(
+            "engine.execute_staged", category="engine", plan=plan.name
+        )
+        root_span.__enter__()
         try:
             stage_index = 0
             while True:
@@ -283,9 +298,21 @@ class Engine:
                 for pos, stage in enumerate(pending):
                     top = stage[-1]
                     stage_report = ExecutionReport()
-                    wall_start = time.perf_counter()
-                    parts = self._run_subtree(top, data, stage_report)
-                    wall = time.perf_counter() - wall_start
+                    stage_span = self.tracer.span(
+                        "engine.stage",
+                        category="engine",
+                        stage=top.name,
+                        index=stage_index,
+                    )
+                    wall_start = clock()
+                    with stage_span:
+                        parts = self._run_subtree(top, data, stage_report)
+                    wall = clock() - wall_start
+                    stage_span.set(
+                        rows_out=sum(len(p) for p in parts),
+                        ops=len(stage_report.per_op),
+                    )
+                    self.tracer.count("engine.stages")
                     self.last_stage_walls.append((top.name, wall))
                     report.per_op.extend(stage_report.per_op)
                     stage_outputs[top] = parts
@@ -318,6 +345,13 @@ class Engine:
         finally:
             self._stage_results = None
             self.reuse_subtree_results = saved_reuse
+            root_span.__exit__(None, None, None)
+        root_span.set(
+            stages=len(self.last_stage_walls),
+            switched=switched,
+            modeled_seconds=report.seconds,
+        )
+        self.tracer.count("engine.executions")
         total_wall = sum(wall for _, wall in self.last_stage_walls)
         result = ExecutionResult(
             records=records, report=report, wall_seconds=total_wall
@@ -428,22 +462,43 @@ class Engine:
         degree = len(base)
         batch = self.stream_batch_rows
         ops = [(op.name, op) for _, op in stages]
-        if self.engine_jobs > 1:
-            out, in_rows, out_rows = _pool.run_chain(
-                ops, base, batch, scatter, self.engine_jobs
-            )
-        else:
-            in_rows = [[0] * degree for _ in stages]
-            out_rows = [[0] * degree for _ in stages]
-            out = empty_partitions(degree)
-            for i, rows in enumerate(base):
-                collected, part_in, part_out = _pool.run_chain_partition(
-                    ops, rows, batch
+        tracer = self.tracer
+        chain_span = tracer.span(
+            "engine.chain",
+            category="engine",
+            first=ops[0][0],
+            ops=len(stages),
+            jobs=self.engine_jobs,
+        )
+        with chain_span:
+            if self.engine_jobs > 1:
+                out, in_rows, out_rows, wspans = _pool.run_chain(
+                    ops, base, batch, scatter, self.engine_jobs,
+                    trace=tracer.enabled,
                 )
-                out[i] = collected
-                for k in range(len(stages)):
-                    in_rows[k][i] = part_in[k]
-                    out_rows[k][i] = part_out[k]
+                for name, i, w_start, w_end, w_pid in wspans:
+                    tracer.add_span(
+                        "engine.partition", "engine", w_start, w_end,
+                        tid=w_pid, attrs={"op": name, "partition": i},
+                    )
+            else:
+                in_rows = [[0] * degree for _ in stages]
+                out_rows = [[0] * degree for _ in stages]
+                out = empty_partitions(degree)
+                for i, rows in enumerate(base):
+                    with tracer.span(
+                        "engine.partition",
+                        category="engine",
+                        op=ops[0][0],
+                        partition=i,
+                    ):
+                        collected, part_in, part_out = _pool.run_chain_partition(
+                            ops, rows, batch
+                        )
+                    out[i] = collected
+                    for k in range(len(stages)):
+                        in_rows[k][i] = part_in[k]
+                        out_rows[k][i] = part_out[k]
         params = self.params
         for k, (stage_node, op) in enumerate(stages):
             metrics = OpMetrics(name=op.name, strategy=stage_node.local.value)
@@ -482,12 +537,16 @@ class Engine:
                 rows = data[op.name]
             except KeyError:
                 raise ExecutionError(f"no data bound for source {op.name!r}") from None
-            parts = round_robin(rows, params.degree)
-            metrics = OpMetrics(name=op.name, strategy="scan")
-            metrics.rows_out = len(rows)
-            metrics.disk_bytes = _bytes_of(rows)
-            metrics.local_seconds = params.disk_seconds(metrics.disk_bytes)
-            report.per_op.append(metrics)
+            with self.tracer.span(
+                "engine.scan", category="engine", source=op.name
+            ) as scan_span:
+                parts = round_robin(rows, params.degree)
+                metrics = OpMetrics(name=op.name, strategy="scan")
+                metrics.rows_out = len(rows)
+                metrics.disk_bytes = _bytes_of(rows)
+                metrics.local_seconds = params.disk_seconds(metrics.disk_bytes)
+                report.per_op.append(metrics)
+            scan_span.set(rows_out=len(rows))
             return parts
         if isinstance(op, Sink):
             return self._run(node.children[0], data, report)
@@ -513,6 +572,36 @@ class Engine:
             ):
                 spec = (child_ship.key, params.degree)
             inputs.append(self._run(child, data, report, spec))
+        # The operator span covers shipping plus local evaluation only —
+        # child recursion above traces under its own spans.
+        op_span = self.tracer.span(
+            "engine.op",
+            category="engine",
+            op=op.name,
+            strategy=node.local.value,
+        )
+        with op_span:
+            out = self._ship_and_local(node, op, inputs, scatter, report)
+        op_span.set(
+            rows_out=report.per_op[-1].rows_out,
+            modeled_seconds=report.per_op[-1].seconds,
+        )
+        return out
+
+    def _ship_and_local(
+        self,
+        node: PhysNode,
+        op,
+        inputs: list[Partitions],
+        scatter: ScatterSpec | None,
+        report: ExecutionReport,
+    ) -> Partitions:
+        """Ship the collected inputs and evaluate the local strategy.
+
+        Split out of :meth:`_run_breaker` so the operator span cleanly
+        covers exactly this region; the metric arithmetic is unchanged.
+        """
+        params = self.params
         metrics = OpMetrics(
             name=op.name,
             strategy=node.local.value,
@@ -611,17 +700,30 @@ class Engine:
         calls_total = 0
 
         need_bytes = isinstance(op, ReduceOp) and input_sizes[0] is None
+        tracer = self.tracer
         if self.engine_jobs > 1:
-            out, evaled = _pool.run_local(
-                op, tuple(inputs), need_bytes, scatter, self.engine_jobs, degree
+            out, evaled, wspans = _pool.run_local(
+                op, tuple(inputs), need_bytes, scatter, self.engine_jobs,
+                degree, trace=tracer.enabled,
             )
+            for name, i, w_start, w_end, w_pid in wspans:
+                tracer.add_span(
+                    "engine.partition", "engine", w_start, w_end,
+                    tid=w_pid, attrs={"op": name, "partition": i},
+                )
         else:
             out = empty_partitions(degree)
             evaled = []
             for i in range(degree):
-                result, aux = _pool.eval_local_partition(
-                    op, tuple(inp[i] for inp in inputs), need_bytes
-                )
+                with tracer.span(
+                    "engine.partition",
+                    category="engine",
+                    op=op.name,
+                    partition=i,
+                ):
+                    result, aux = _pool.eval_local_partition(
+                        op, tuple(inp[i] for inp in inputs), need_bytes
+                    )
                 out[i] = result
                 evaled.append((len(result), aux))
 

@@ -51,6 +51,7 @@ On platforms without ``fork`` the engine falls back to serial execution
 from __future__ import annotations
 
 import multiprocessing
+import os
 import traceback
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -73,6 +74,7 @@ from ..core.reference import (
     apply_reduce,
     group_by,
 )
+from ..obs.tracer import clock
 from .partition import Partitions, hash_key
 
 #: Fork-inherited region state; layout depends on the worker function.
@@ -241,8 +243,9 @@ def _error_payload(op_name: str, index: int, exc: Exception) -> tuple:
 
 
 def _chain_worker(index: int) -> tuple:
-    ops, base, batch, scatter = _REGION
+    ops, base, batch, scatter, trace = _REGION
     active = [ops[0][0]]
+    start = clock() if trace else 0.0
     try:
         collected, in_rows, out_rows = run_chain_partition(
             ops, base[index], batch, active
@@ -250,11 +253,18 @@ def _chain_worker(index: int) -> tuple:
         pack = scatter_partition(collected, index, scatter)
     except Exception as exc:
         return _error_payload(active[0], index, exc)
-    return ("ok", pack, in_rows, out_rows)
+    # Span primitive for the parent's tracer: CLOCK_MONOTONIC readings
+    # are comparable across fork on Linux, so raw (start, end) plus the
+    # worker pid is everything the parent needs to place this partition
+    # on the worker's own timeline lane.  Never a Span object — workers
+    # ship primitives only.
+    span = (start, clock(), os.getpid()) if trace else None
+    return ("ok", pack, in_rows, out_rows, span)
 
 
 def _local_worker(index: int) -> tuple:
-    op, inputs, need_bytes, scatter = _REGION
+    op, inputs, need_bytes, scatter, trace = _REGION
+    start = clock() if trace else 0.0
     try:
         result, aux = eval_local_partition(
             op, tuple(inp[index] for inp in inputs), need_bytes
@@ -262,7 +272,8 @@ def _local_worker(index: int) -> tuple:
         pack = scatter_partition(result, index, scatter)
     except Exception as exc:
         return _error_payload(op.name, index, exc)
-    return ("ok", pack, aux)
+    span = (start, clock(), os.getpid()) if trace else None
+    return ("ok", pack, aux, span)
 
 
 # -- the pool -----------------------------------------------------------------
@@ -312,16 +323,20 @@ def run_chain(
     batch: int,
     scatter: ScatterSpec | None,
     jobs: int,
+    trace: bool = False,
 ):
     """Run a fused Map chain's partitions across the worker pool.
 
-    Returns ``(output, in_rows, out_rows)`` where the count arrays are
-    indexed ``[operator][partition]`` exactly as the serial path builds
-    them, and ``output`` is partitions or a :class:`ScatteredOutput`.
+    Returns ``(output, in_rows, out_rows, spans)`` where the count
+    arrays are indexed ``[operator][partition]`` exactly as the serial
+    path builds them, ``output`` is partitions or a
+    :class:`ScatteredOutput`, and ``spans`` holds one ``(op_name,
+    partition, start, end, pid)`` wall-clock primitive per partition
+    when ``trace`` is set (empty otherwise).
     """
     count = len(base)
     payloads = _run_region(
-        (ops, base, batch, scatter),
+        (ops, base, batch, scatter, trace),
         _chain_worker,
         count,
         jobs,
@@ -330,12 +345,15 @@ def run_chain(
     in_rows = [[0] * count for _ in ops]
     out_rows = [[0] * count for _ in ops]
     packed = []
-    for i, (_, pack, part_in, part_out) in enumerate(payloads):
+    spans = []
+    for i, (_, pack, part_in, part_out, span) in enumerate(payloads):
         for k in range(len(ops)):
             in_rows[k][i] = part_in[k]
             out_rows[k][i] = part_out[k]
         packed.append(pack)
-    return assemble(packed, scatter), in_rows, out_rows
+        if span is not None:
+            spans.append((ops[0][0], i, *span))
+    return assemble(packed, scatter), in_rows, out_rows, spans
 
 
 def run_local(
@@ -345,15 +363,17 @@ def run_local(
     scatter: ScatterSpec | None,
     jobs: int,
     degree: int,
+    trace: bool = False,
 ):
     """Run one local strategy's partitions across the worker pool.
 
-    Returns ``(output, evaled)`` where ``evaled[i]`` is ``(result_len,
-    aux)`` for partition ``i`` — the same facts the serial evaluation
-    loop hands the metric arithmetic.
+    Returns ``(output, evaled, spans)`` where ``evaled[i]`` is
+    ``(result_len, aux)`` for partition ``i`` — the same facts the
+    serial evaluation loop hands the metric arithmetic — and ``spans``
+    carries per-partition wall-clock primitives as in :func:`run_chain`.
     """
     payloads = _run_region(
-        (op, inputs, need_bytes, scatter),
+        (op, inputs, need_bytes, scatter, trace),
         _local_worker,
         degree,
         jobs,
@@ -361,9 +381,12 @@ def run_local(
     )
     packed = []
     evaled = []
-    for _, pack, aux in payloads:
+    spans = []
+    for i, (_, pack, aux, span) in enumerate(payloads):
         rows_or_buckets, ship_info = pack
         length = ship_info[2] if ship_info is not None else len(rows_or_buckets)
         evaled.append((length, aux))
         packed.append(pack)
-    return assemble(packed, scatter), evaled
+        if span is not None:
+            spans.append((op.name, i, *span))
+    return assemble(packed, scatter), evaled, spans

@@ -41,6 +41,7 @@ from ..core.errors import FeedbackError
 from ..core.plan import Node, body as plan_body, signature_key
 from ..core.udf import AnnotationMode
 from ..engine.executor import Engine, ExecutionResult
+from ..obs.tracer import NOOP_TRACER
 from ..optimizer.cardinality import CardinalityEstimator, Hints
 from ..optimizer.context import PlanContext
 from ..optimizer.cost import CostParams
@@ -145,6 +146,7 @@ class AdaptiveOptimizer:
         midquery: bool = False,
         switch_threshold: float = DEFAULT_SWITCH_THRESHOLD,
         engine_jobs: int = 1,
+        tracer=None,
     ) -> None:
         self.workload = workload
         self.store = store if store is not None else StatisticsStore()
@@ -154,6 +156,12 @@ class AdaptiveOptimizer:
         self.mode = mode
         self.params = params or workload.params
         self.picks = picks
+        # One tracer threads the whole loop: optimizer spans, engine
+        # stage/partition spans, and the store's ingest/sync spans all
+        # land on the same timeline.
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        if tracer is not None:
+            self.store.tracer = tracer
         self.collector = ObservationCollector()
         self.engine = Engine(
             self.params,
@@ -162,6 +170,7 @@ class AdaptiveOptimizer:
             streaming=streaming,
             collector=self.collector,
             engine_jobs=engine_jobs,
+            tracer=tracer,
         )
         self.optimizer = Optimizer(
             workload.catalog,
@@ -170,6 +179,7 @@ class AdaptiveOptimizer:
             self.params,
             estimator_factory=self._make_estimator,
             jobs=jobs,
+            tracer=tracer,
         )
         # Carried across rounds; invalidated along the dirty spine of the
         # estimator-view diff before each re-optimization.
@@ -193,6 +203,7 @@ class AdaptiveOptimizer:
                 self.params,
                 store=self.store,
                 switch_threshold=switch_threshold,
+                tracer=tracer,
             )
 
     def _make_estimator(
@@ -211,13 +222,23 @@ class AdaptiveOptimizer:
         report = AdaptiveReport(workload=self.workload.name)
         previous: AdaptiveRound | None = None
         for index in range(feedback_rounds + 1):
-            round_ = self._run_round(index)
+            round_span = self.tracer.span(
+                "feedback.round", category="feedback", round=index
+            )
+            with round_span:
+                round_ = self._run_round(index)
             if previous is not None:
                 round_.converged = (
                     _plan_key(round_.pick.body) == _plan_key(previous.pick.body)
                     and _plan_key(round_.estimator_pick.body)
                     == _plan_key(previous.estimator_pick.body)
                 )
+            round_span.set(
+                pick_rank=round_.pick.rank,
+                executed=len(round_.executed),
+                converged=round_.converged,
+            )
+            self.tracer.count("feedback.rounds")
             report.rounds.append(round_)
             previous = round_
             if round_.converged:
@@ -239,7 +260,14 @@ class AdaptiveOptimizer:
         }
         if foreign_changed:
             self._view = fresh_view
-            self.memo.invalidate(foreign_changed)
+            with self.tracer.span(
+                "optimizer.invalidate",
+                category="optimizer",
+                changed=len(foreign_changed),
+            ) as span:
+                evicted = self.memo.invalidate(foreign_changed)
+            span.set(evicted=evicted)
+            self.tracer.count("optimizer.memo_evictions", evicted)
         optimization = self.optimizer.optimize(self.workload.plan, memo=self.memo)
         estimator_pick = optimization.best
         # Deployment decision uses what the store knew when this round
@@ -301,7 +329,14 @@ class AdaptiveOptimizer:
         }
         self._view = view
         if changed:
-            self.memo.invalidate(changed)
+            with self.tracer.span(
+                "optimizer.invalidate",
+                category="optimizer",
+                changed=len(changed),
+            ) as span:
+                evicted = self.memo.invalidate(changed)
+            span.set(evicted=evicted)
+            self.tracer.count("optimizer.memo_evictions", evicted)
 
         pick_run = seen[_plan_key(pick.body)]
         pick_seconds = pick_run.seconds

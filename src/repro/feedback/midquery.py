@@ -61,6 +61,7 @@ from ..core.schema import Attribute
 from ..core.udf import AnnotationMode
 from ..engine.executor import Engine, ExecutionResult, StageRun
 from ..engine.partition import Partitions
+from ..obs.tracer import NOOP_TRACER
 from ..optimizer.cardinality import CardinalityEstimator, Hints
 from ..optimizer.context import PlanContext
 from ..optimizer.cost import CostParams
@@ -116,6 +117,7 @@ class MidQueryReoptimizer:
         params: CostParams | None = None,
         store: StatisticsStore | None = None,
         switch_threshold: float = DEFAULT_SWITCH_THRESHOLD,
+        tracer=None,
     ) -> None:
         if not (switch_threshold >= 0.0):  # rejects NaN too
             raise FeedbackError(
@@ -124,6 +126,9 @@ class MidQueryReoptimizer:
         self.store = store if store is not None else StatisticsStore()
         self.store.check_compatible(catalog)
         self.switch_threshold = switch_threshold
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
+        if tracer is not None:
+            self.store.tracer = tracer
         # Overlay catalog: synthetic boundary sources are registered here,
         # never on the caller's catalog.
         self.catalog = catalog.clone()
@@ -133,6 +138,7 @@ class MidQueryReoptimizer:
             mode,
             params,
             estimator_factory=self._make_estimator,
+            tracer=tracer,
         )
         self.ctx = self.optimizer.ctx
         self.memo = self.optimizer.new_memo()
@@ -165,51 +171,70 @@ class MidQueryReoptimizer:
         """
         if run_id != self._run_id:
             self._begin_run(run_id)
-        # 0. Incorporate foreign commits to a shared backend before
-        # folding this stage's delta; the view diff below then covers
-        # foreign and local changes in one pass.  No-op without a
-        # backend or concurrent writers.
-        self.store.sync()
-        # 1. Flush the stage's observation delta into the store — and into
-        # the engine's collector, so drivers that bulk-ingest collected
-        # observations later see it too (deduped there by run id).
-        observation = observe_stage(stage, engine.true_costs, run_id)
-        if engine.collector is not None:
-            engine.collector.executions.append(observation)
-        if observation.ops:
-            self.store.ingest(observation)
-
-        # 2. Exact dirty set: the per-name estimator-view diff.
-        view = self.store.estimator_view()
-        changed = frozenset(
-            name
-            for name in view.keys() | self._view.keys()
-            if view.get(name) != self._view.get(name)
+        boundary_span = self.tracer.span(
+            "feedback.boundary",
+            category="feedback",
+            stage=stage.top.name,
+            boundary=stage.index,
         )
-        self._view = view
+        with boundary_span:
+            # 0. Incorporate foreign commits to a shared backend before
+            # folding this stage's delta; the view diff below then covers
+            # foreign and local changes in one pass.  No-op without a
+            # backend or concurrent writers.
+            self.store.sync()
+            # 1. Flush the stage's observation delta into the store — and
+            # into the engine's collector, so drivers that bulk-ingest
+            # collected observations later see it too (deduped there by
+            # run id).
+            observation = observe_stage(stage, engine.true_costs, run_id)
+            if engine.collector is not None:
+                engine.collector.executions.append(observation)
+            if observation.ops:
+                self.store.ingest(observation)
 
-        # 3. Re-plan the unexecuted suffix over the pinned boundaries.
-        suffix = self._suffix_body(plan, completed)
-        if changed:
-            result = self.optimizer.reoptimize(suffix, self.memo, changed)
-        else:
-            result = self.optimizer.optimize(suffix, memo=self.memo)
-        current = self._rank_of_flow(result.ranked, suffix)
-        best = result.best
-
-        # 4. Switch iff the improvement clears the threshold.
-        switched = current.cost > self.switch_threshold * best.cost
-        self.decisions.append(
-            SwitchDecision(
-                run_id=run_id,
-                boundary=stage.index,
-                stage_name=stage.top.name,
-                changed_ops=changed,
-                current_cost=current.cost,
-                best_cost=best.cost,
-                switched=switched,
+            # 2. Exact dirty set: the per-name estimator-view diff.
+            view = self.store.estimator_view()
+            changed = frozenset(
+                name
+                for name in view.keys() | self._view.keys()
+                if view.get(name) != self._view.get(name)
             )
+            self._view = view
+
+            # 3. Re-plan the unexecuted suffix over the pinned boundaries.
+            suffix = self._suffix_body(plan, completed)
+            if changed:
+                result = self.optimizer.reoptimize(suffix, self.memo, changed)
+            else:
+                result = self.optimizer.optimize(suffix, memo=self.memo)
+            current = self._rank_of_flow(result.ranked, suffix)
+            best = result.best
+
+            # 4. Switch iff the improvement clears the threshold.
+            switched = current.cost > self.switch_threshold * best.cost
+            self.decisions.append(
+                SwitchDecision(
+                    run_id=run_id,
+                    boundary=stage.index,
+                    stage_name=stage.top.name,
+                    changed_ops=changed,
+                    current_cost=current.cost,
+                    best_cost=best.cost,
+                    switched=switched,
+                )
+            )
+        # Kept-vs-replanned estimated costs on the decision span — the
+        # trace alone answers "why did (n't) it switch here?".
+        boundary_span.set(
+            changed=len(changed),
+            kept_cost=current.cost,
+            best_cost=best.cost,
+            switched=switched,
         )
+        self.tracer.count("feedback.boundaries")
+        if switched:
+            self.tracer.count("feedback.switches")
         return best.physical if switched else None
 
     def decisions_for(self, run_id: str) -> list[SwitchDecision]:
@@ -372,6 +397,7 @@ def run_midquery(
     optimization: "OptimizationResult | None" = None,
     baseline: ExecutionResult | None = None,
     engine_jobs: int = 1,
+    tracer=None,
 ) -> MidQueryExperiment:
     """Optimize a workload, then race the pick with and without mid-query.
 
@@ -387,6 +413,8 @@ def run_midquery(
     params = params or workload.params
     hints = hints if hints is not None else workload.hints
     store = store if store is not None else StatisticsStore()
+    if tracer is not None:
+        store.tracer = tracer
     result = optimization
     if result is None:
         optimizer = Optimizer(
@@ -395,13 +423,15 @@ def run_midquery(
             mode,
             params,
             estimator_factory=lambda ctx, h: FeedbackEstimator(ctx, h, store),
+            tracer=tracer,
         )
         result = optimizer.optimize(workload.plan)
     pick = result.best
 
     if baseline is None:
         baseline_engine = Engine(
-            params, workload.true_costs, engine_jobs=engine_jobs
+            params, workload.true_costs, engine_jobs=engine_jobs,
+            tracer=tracer,
         )
         baseline = baseline_engine.execute(pick.physical, workload.data)
 
@@ -412,12 +442,14 @@ def run_midquery(
         params,
         store=store,
         switch_threshold=switch_threshold,
+        tracer=tracer,
     )
     staged_engine = Engine(
         params,
         workload.true_costs,
         collector=ObservationCollector(),
         engine_jobs=engine_jobs,
+        tracer=tracer,
     )
     adaptive = staged_engine.execute_staged(
         pick.physical, workload.data, controller

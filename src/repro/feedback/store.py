@@ -55,6 +55,7 @@ from pathlib import Path
 
 from ..core.catalog import Catalog, SourceStats
 from ..core.errors import FeedbackError
+from ..obs.tracer import NOOP_TRACER
 from ..optimizer.cardinality import Hints
 from .backends import (
     BackendConflict,
@@ -165,6 +166,9 @@ class StatisticsStore:
     )
     #: Backend generation this process has incorporated (0 = fresh).
     _generation: int = field(default=0, repr=False, compare=False)
+    #: Wall-clock observability (repro.obs); never part of store state —
+    #: excluded from repr/compare and from every persisted payload.
+    tracer: object = field(default=NOOP_TRACER, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not (0.0 < self.decay <= 1.0):
@@ -207,25 +211,39 @@ class StatisticsStore:
         state, and retried, so no concurrent ingest is ever lost or
         double-counted.
         """
-        if self.backend is None:
-            self._fold(execution)
-            return
-        for attempt in range(self._COMMIT_RETRIES):
-            if self.backend.generation() != self._generation:
-                self._reload()
-            delta = self._fold(execution)
-            try:
-                self._generation = self.backend.commit(
-                    self.to_dict(), delta, self._generation
-                )
+        span = self.tracer.span(
+            "feedback.ingest",
+            category="feedback",
+            ops=len(execution.ops),
+            partial=execution.partial,
+        )
+        with span:
+            if self.backend is None:
+                self._fold(execution)
+                self.tracer.count("feedback.ingests")
                 return
-            except BackendConflict:
-                # Our fold raced a foreign commit: drop it, take the
-                # winner's state, re-fold on the next pass.  Brief
-                # backoff after repeated losses to break livelock.
-                self._reload()
-                if attempt >= 2:
-                    time.sleep(0.001 * min(attempt, 20))
+            conflicts = 0
+            for attempt in range(self._COMMIT_RETRIES):
+                if self.backend.generation() != self._generation:
+                    self._reload()
+                delta = self._fold(execution)
+                try:
+                    self._generation = self.backend.commit(
+                        self.to_dict(), delta, self._generation
+                    )
+                    span.set(commit_attempts=attempt + 1, conflicts=conflicts)
+                    self.tracer.count("feedback.ingests")
+                    return
+                except BackendConflict:
+                    # Our fold raced a foreign commit: drop it, take the
+                    # winner's state, re-fold on the next pass.  Brief
+                    # backoff after repeated losses to break livelock.
+                    conflicts += 1
+                    self.tracer.count("feedback.commit_conflicts")
+                    self._reload()
+                    if attempt >= 2:
+                        time.sleep(0.001 * min(attempt, 20))
+            span.set(commit_attempts=self._COMMIT_RETRIES, conflicts=conflicts)
         raise FeedbackError(
             f"statistics backend kept conflicting for "
             f"{self._COMMIT_RETRIES} commit attempts — writer storm or a "
@@ -331,14 +349,18 @@ class StatisticsStore:
         """
         if self.backend is None or self.backend.generation() == self._generation:
             return frozenset()
-        before = self.estimator_view()
-        self._reload()
-        after = self.estimator_view()
-        return frozenset(
-            name
-            for name in before.keys() | after.keys()
-            if before.get(name) != after.get(name)
-        )
+        with self.tracer.span("feedback.sync", category="feedback") as span:
+            before = self.estimator_view()
+            self._reload()
+            after = self.estimator_view()
+            dirty = frozenset(
+                name
+                for name in before.keys() | after.keys()
+                if before.get(name) != after.get(name)
+            )
+        span.set(dirty=len(dirty))
+        self.tracer.count("feedback.syncs")
+        return dirty
 
     def _reload(self) -> None:
         """Replace all in-memory state with the backend's current state."""

@@ -9,7 +9,6 @@ rank the resulting execution plans by estimated cost.
 from __future__ import annotations
 
 import random
-import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
@@ -17,6 +16,7 @@ from ..core.catalog import Catalog
 from ..core.errors import OptimizationError
 from ..core.plan import Node, body as plan_body, signature
 from ..core.udf import AnnotationMode
+from ..obs.tracer import NOOP_TRACER, clock
 from .cardinality import CardinalityEstimator, Hints
 from .context import PlanContext
 from .cost import CostParams
@@ -146,6 +146,7 @@ class Optimizer:
         jobs: int = 1,
         max_alternatives: int | None = None,
         sample_seed: int = 0,
+        tracer=None,
     ) -> None:
         if jobs < 1:
             raise OptimizationError(f"jobs must be >= 1, got {jobs}")
@@ -168,6 +169,10 @@ class Optimizer:
         self.jobs = jobs
         self.max_alternatives = max_alternatives
         self.sample_seed = sample_seed
+        # Wall-clock observability (repro.obs); the tracer never touches
+        # estimates, costs, or ranking — planning output is bit-identical
+        # with tracing on or off.
+        self.tracer = tracer if tracer is not None else NOOP_TRACER
         #: Estimator used by the most recent :meth:`optimize` call — the
         #: feedback loop reads its cached estimates for q-error reporting.
         self.last_estimator: CardinalityEstimator | None = None
@@ -195,33 +200,54 @@ class Optimizer:
                 "path re-plans every alternative from scratch)"
             )
         flow = plan_body(plan)
-        t0 = time.perf_counter()
-        alternatives = self._closure(flow, memo)
-        sampled = self._sample(alternatives)
-        t1 = time.perf_counter()
-        estimator = self.estimator_factory(self.ctx, self.hints)
-        self.last_estimator = estimator
-        scored: list[tuple[float, Node, PhysNode]] = []
-        if self.reuse_memo:
-            shared_memo = memo if memo is not None else self.new_memo()
-            shared_memo.bind(estimator)
-            for alt, phys in self._cost_all(sampled, estimator, shared_memo):
-                scored.append((phys.cost_total, alt, phys))
-        else:
-            for alt in sampled:
-                physical_optimizer = PhysicalOptimizer(
-                    self.ctx, estimator, self.params
-                )
-                phys = physical_optimizer.optimize(alt)
-                scored.append((phys.cost_total, alt, phys))
-        t2 = time.perf_counter()
-        # Stable sort: equal-cost plans keep enumeration order, identical
-        # between the sequential, memo-reusing, and parallel paths.
-        scored.sort(key=lambda item: item[0])
-        ranked = [
-            RankedPlan(rank=i + 1, body=alt, physical=phys)
-            for i, (_, alt, phys) in enumerate(scored)
-        ]
+        tracer = self.tracer
+        root_span = tracer.span("optimizer.optimize", category="optimizer")
+        with root_span:
+            t0 = clock()
+            with tracer.span("optimizer.enumerate", category="optimizer") as enum_span:
+                alternatives = self._closure(flow, memo)
+                sampled = self._sample(alternatives)
+            enum_span.set(closure=len(alternatives), sampled=len(sampled))
+            t1 = clock()
+            estimator = self.estimator_factory(self.ctx, self.hints)
+            self.last_estimator = estimator
+            scored: list[tuple[float, Node, PhysNode]] = []
+            cost_span = tracer.span(
+                "optimizer.cost",
+                category="optimizer",
+                alternatives=len(sampled),
+                jobs=self.jobs,
+            )
+            with cost_span:
+                if self.reuse_memo:
+                    shared_memo = memo if memo is not None else self.new_memo()
+                    shared_memo.bind(estimator)
+                    for alt, phys in self._cost_all(sampled, estimator, shared_memo):
+                        scored.append((phys.cost_total, alt, phys))
+                else:
+                    for alt in sampled:
+                        with tracer.span(
+                            "optimizer.alternative", category="optimizer"
+                        ):
+                            physical_optimizer = PhysicalOptimizer(
+                                self.ctx, estimator, self.params
+                            )
+                            phys = physical_optimizer.optimize(alt)
+                        scored.append((phys.cost_total, alt, phys))
+            t2 = clock()
+            # Stable sort: equal-cost plans keep enumeration order, identical
+            # between the sequential, memo-reusing, and parallel paths.
+            scored.sort(key=lambda item: item[0])
+            ranked = [
+                RankedPlan(rank=i + 1, body=alt, physical=phys)
+                for i, (_, alt, phys) in enumerate(scored)
+            ]
+        root_span.set(
+            alternatives=len(sampled),
+            best_cost=ranked[0].cost if ranked else 0.0,
+        )
+        tracer.count("optimizer.optimizations")
+        tracer.count("optimizer.alternatives_costed", len(sampled))
         return OptimizationResult(
             original_body=flow,
             ranked=ranked,
@@ -240,7 +266,14 @@ class Optimizer:
         Bit-identical to a full rebuild with the same hints (pinned by
         the invalidation parity tests), at a fraction of the cost.
         """
-        memo.invalidate(changed_ops)
+        changed = tuple(changed_ops)
+        with self.tracer.span(
+            "optimizer.invalidate", category="optimizer", changed=len(changed)
+        ) as span:
+            evicted = memo.invalidate(changed)
+        span.set(evicted=evicted)
+        self.tracer.count("optimizer.invalidations")
+        self.tracer.count("optimizer.memo_evictions", evicted)
         return self.optimize(plan, memo=memo)
 
     # -- internals ---------------------------------------------------------
@@ -288,11 +321,16 @@ class Optimizer:
                     self.params,
                     memo,
                     min(self.jobs, len(alternatives)),
+                    tracer=self.tracer,
                 )
         physical_optimizer = PhysicalOptimizer(
             self.ctx, estimator, self.params, memo=memo
         )
-        return [(alt, physical_optimizer.optimize(alt)) for alt in alternatives]
+        scored = []
+        for alt in alternatives:
+            with self.tracer.span("optimizer.alternative", category="optimizer"):
+                scored.append((alt, physical_optimizer.optimize(alt)))
+        return scored
 
 
 def optimize(

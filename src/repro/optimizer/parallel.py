@@ -49,6 +49,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 from ..core.plan import Node
 from ..core.schema import Attribute
+from ..obs.tracer import NOOP_TRACER
 from .cardinality import CardinalityEstimator, EstStats
 from .context import PlanContext
 from .cost import CostParams
@@ -257,6 +258,7 @@ def cost_alternatives(
     params: CostParams,
     memo: Memo,
     jobs: int,
+    tracer=NOOP_TRACER,
 ) -> list[tuple[Node, PhysNode]]:
     """Cost every alternative across ``jobs`` forked workers.
 
@@ -275,15 +277,37 @@ def cost_alternatives(
     decoder = _Decoder(memo, _build_registry(alternatives))
     best: dict[int, PhysNode] = {}
     _WORKER = (alternatives, ctx, estimator, params, memo)
+    dispatch_span = tracer.span(
+        "optimizer.parallel.dispatch",
+        category="optimizer",
+        alternatives=count,
+        chunks=len(chunks),
+        jobs=jobs,
+    )
     try:
         fork = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(max_workers=jobs, mp_context=fork) as pool:
+        with dispatch_span, ProcessPoolExecutor(
+            max_workers=jobs, mp_context=fork
+        ) as pool:
             # Consume payloads as they arrive (chunk order, so the merge
             # is deterministic): the parent decodes one chunk's entries
-            # while the others are still costing.
-            for payload in pool.map(_cost_shard, chunks):
-                for index, phys in decoder.absorb(payload):
-                    best[index] = phys
+            # while the others are still costing.  Each absorb is traced
+            # as one chunk span: the parent-side cost of merging that
+            # chunk's worker-shipped memo entries.
+            for chunk_index, payload in enumerate(
+                pool.map(_cost_shard, chunks)
+            ):
+                with tracer.span(
+                    "optimizer.parallel.chunk",
+                    category="optimizer",
+                    chunk=chunk_index,
+                    alternatives=len(chunks[chunk_index]),
+                ) as chunk_span:
+                    resolved = decoder.absorb(payload)
+                    for index, phys in resolved:
+                        best[index] = phys
+                chunk_span.set(entries=len(payload[1]))
+                tracer.count("optimizer.parallel_chunks")
     finally:
         _WORKER = None
     return [(alt, best[i]) for i, alt in enumerate(alternatives)]
