@@ -1,0 +1,152 @@
+"""Planning latency: guided (best-first) vs eager search, stress space.
+
+The cost-guided search (``Optimizer(search="guided")``) streams the
+enumerated closure into a frontier ordered by an admissible lower bound
+and physically costs only frontier heads, terminating once the top-``k``
+prefix is provably final.  On the join-heavy stress space (7 chained
+joins x 2 pushable filters -> 6864 alternatives, ~15k distinct
+sub-plans) this turns planning from "cost everything" into "cost a
+handful", which is the serving-path latency story.
+
+Measured here with a long-lived optimizer and a cold memo per call
+(every per-call table — memo, bounds, estimates — starts empty):
+
+* p50/p99 per-optimize planning latency for both strategies;
+* cardinality-estimate cache misses spent per optimize (deterministic);
+* the ``optimizer.search.*`` work counters exported through repro.obs;
+* exact rank-1 parity between the two strategies (asserted, not just
+  reported).
+
+Headline (trend-gated): ``median_speedup`` — eager median latency over
+guided median latency, a machine-relative ratio.  The acceptance floors
+(>= 5x fewer estimate calls AND >= 5x lower median planning latency) are
+hard-asserted on every run.  Results land in
+``benchmarks/results/plan_latency.json``.
+"""
+
+import gc
+import json
+import time
+
+from bench_reoptimize import build_stress
+from conftest import percentile, write_result
+
+from repro.core import AnnotationMode
+from repro.core.plan import signature
+from repro.obs import Tracer
+from repro.optimizer import Optimizer
+
+EAGER_REPS = 3
+GUIDED_REPS = 7
+
+
+def make_optimizer(catalog, hints, search, tracer=None):
+    """A long-lived optimizer, as a serving path would hold one."""
+    return Optimizer(
+        catalog,
+        hints,
+        AnnotationMode.MANUAL,
+        search=search,
+        top_k=1 if search == "guided" else None,
+        tracer=tracer,
+    )
+
+
+def plan_once(optimizer, plan):
+    """One cold-memo optimize: every per-call table (memo, bounds,
+    estimates) starts empty; only the optimizer's hint-independent
+    context caches (derived UDF properties, rule outcomes) stay warm,
+    matching a serving system planning query after query."""
+    gc.collect()  # prior reps' garbage must not bill a random rep
+    start = time.perf_counter()
+    result = optimizer.optimize(plan)
+    return time.perf_counter() - start, result
+
+
+def measure(plan, catalog, hints, search, reps):
+    optimizer = make_optimizer(catalog, hints, search)
+    # One uncounted warmup: the first optimize of a process pays one-time
+    # costs (global plan-node interning of the closure, allocator growth)
+    # that a per-call latency figure should not charge to either strategy.
+    plan_once(optimizer, plan)
+    latencies = []
+    result = None
+    for _ in range(reps):
+        elapsed, result = plan_once(optimizer, plan)
+        latencies.append(elapsed)
+    stats = result.search_stats
+    return {
+        "reps": reps,
+        "p50_seconds": percentile(latencies, 50),
+        "p99_seconds": percentile(latencies, 99),
+        "expanded": stats.expanded,
+        "costed": stats.costed,
+        "pruned": stats.pruned,
+        "bounds_computed": stats.bounds_computed,
+        "estimate_calls": stats.estimate_calls,
+    }, result
+
+
+def run_bench():
+    plan, catalog, hints = build_stress()
+    eager_stats, eager = measure(plan, catalog, hints, "eager", EAGER_REPS)
+    guided_stats, guided = measure(plan, catalog, hints, "guided", GUIDED_REPS)
+
+    # Parity: guided's rank-1 is the eager rank-1, exactly.
+    g, e = guided.best, eager.best
+    assert signature(g.body) == signature(e.body)
+    assert g.cost == e.cost  # exact float equality
+    assert g.physical.describe() == e.physical.describe()
+
+    # The search-work counters flow through repro.obs unchanged.
+    tracer = Tracer()
+    _, traced = plan_once(
+        make_optimizer(catalog, hints, "guided", tracer=tracer), plan
+    )
+    counters = tracer.metrics.counters
+    assert counters["optimizer.search.expanded"] == traced.search_stats.expanded
+    assert counters["optimizer.search.costed"] == traced.search_stats.costed
+    assert counters["optimizer.search.pruned"] == traced.search_stats.pruned
+    assert counters["optimizer.search.bounds"] == (
+        traced.search_stats.bounds_computed
+    )
+    assert counters["optimizer.estimates"] == traced.search_stats.estimate_calls
+
+    return {
+        "alternatives": eager.plan_count,
+        "eager": eager_stats,
+        "guided": guided_stats,
+        "median_speedup": (
+            eager_stats["p50_seconds"] / guided_stats["p50_seconds"]
+        ),
+        "p99_speedup": eager_stats["p99_seconds"] / guided_stats["p99_seconds"],
+        "estimate_call_ratio": (
+            eager_stats["estimate_calls"] / guided_stats["estimate_calls"]
+        ),
+        "search_counters": {
+            name: value
+            for name, value in sorted(counters.items())
+            if name.startswith("optimizer.")
+        },
+    }
+
+
+def test_plan_latency(benchmark, results_dir):
+    report = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    write_result(
+        results_dir,
+        "plan_latency.json",
+        json.dumps(report, indent=2, sort_keys=True),
+    )
+
+    eager, guided = report["eager"], report["guided"]
+    # Both strategies walked the same 6864-alternative space...
+    assert report["alternatives"] == eager["expanded"] == guided["expanded"]
+    # ...but guided costed a sliver of it and pruned the rest unseen.
+    assert guided["costed"] < guided["expanded"] // 100
+    assert guided["costed"] + guided["pruned"] == guided["expanded"]
+    # Acceptance floors: >= 5x fewer estimate-cache misses and >= 5x
+    # lower median planning latency (measured ~870x / ~7x on the dev
+    # box; gated conservatively for CI noise).
+    assert report["estimate_call_ratio"] >= 5.0
+    assert report["median_speedup"] >= 5.0

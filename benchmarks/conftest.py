@@ -28,6 +28,13 @@ def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
     print(text)
 
 
+def percentile(samples, q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]) of a small sample list."""
+    ordered = sorted(samples)
+    rank = max(1, -(-len(ordered) * q // 100))  # ceil without math import
+    return ordered[int(rank) - 1]
+
+
 @pytest.fixture(scope="session")
 def q7_workload():
     return build_q7()

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ..core.errors import OptimizationConfigError
 from ..core.udf import AnnotationMode
 from ..engine.executor import Engine, ExecutionResult
 from ..feedback.adaptive import AdaptiveOptimizer, AdaptiveReport
@@ -88,6 +89,8 @@ def run_experiment(
     midquery: bool = False,
     switch_threshold: float = DEFAULT_SWITCH_THRESHOLD,
     engine_jobs: int = 1,
+    search: str = "eager",
+    top_k: int | None = None,
     tracer=None,
 ) -> ExperimentOutcome:
     """Optimize a workload, execute rank-picked plans, collect the outcome.
@@ -117,12 +120,25 @@ def run_experiment(
     across a fork-based worker pool; records, per-op metrics, and modeled
     seconds are bit-identical to serial execution.
 
+    ``search="guided"`` plans with the best-first, cost-guided search:
+    only the top ``top_k`` plans (default 1) are produced — bit-identical
+    to the eager prefix — so the rank-interval pick protocol degenerates
+    to executing that guaranteed prefix.  Guided search is for the
+    serving path; the experiment protocols that need the full ranking
+    (feedback rounds, ``--all``) keep the eager default.
+
     ``tracer`` (a :class:`repro.obs.Tracer`) threads wall-clock spans
     through the optimizer, the engine, and — under feedback rounds — the
     statistics store and mid-query controller; the default no-op tracer
     leaves every result bit-identical.
     """
     if feedback_rounds > 0 or stats_store is not None:
+        if search != "eager":
+            raise OptimizationConfigError(
+                "feedback experiments need the full ranking (rank-of-pick "
+                "reporting); search='guided' is not supported with "
+                "feedback_rounds/stats_store"
+            )
         return _run_feedback_experiment(
             workload, picks, mode, params, execute_all, feedback_rounds,
             stats_store, stats_backend, jobs, midquery, switch_threshold,
@@ -131,6 +147,7 @@ def run_experiment(
     params = params or workload.params
     optimizer = Optimizer(
         workload.catalog, workload.hints, mode, params, jobs=jobs,
+        search=search, top_k=top_k,
         tracer=tracer,
     )
     result = optimizer.optimize(workload.plan)

@@ -10,6 +10,7 @@ Usage::
     python -m repro experiment clickstream --feedback-rounds 2 --stats-store stats.json
     python -m repro experiment clickstream --feedback-rounds 2 --stats-store stats.sqlite
     python -m repro experiment tpch_q7 --jobs 4
+    python -m repro experiment tpch_q7 --search guided --top-k 3
     python -m repro experiment textmining --scale 400 --engine-jobs 4
     python -m repro experiment clickstream --midquery --switch-threshold 1.1
     python -m repro experiment clickstream --trace trace.json
@@ -104,6 +105,8 @@ def cmd_experiment(args) -> int:
         midquery=args.midquery,
         switch_threshold=args.switch_threshold,
         engine_jobs=args.engine_jobs,
+        search=args.search,
+        top_k=args.top_k,
         tracer=tracer,
     )
     print(render_figure(outcome, f"Experiment — {workload.name}"))
@@ -259,6 +262,26 @@ def build_parser() -> argparse.ArgumentParser:
                 "seconds are bit-identical to --engine-jobs 1; falls "
                 "back to serial with a warning where fork is "
                 "unavailable)",
+            )
+            p.add_argument(
+                "--search",
+                choices=("eager", "guided"),
+                default="eager",
+                help="plan search strategy: 'eager' costs every enumerated "
+                "alternative and ranks them all; 'guided' runs the "
+                "best-first, cost-guided search that costs only frontier "
+                "heads and returns the top --top-k plans (bit-identical "
+                "to the eager prefix)",
+            )
+            p.add_argument(
+                "--top-k",
+                type=_positive_int,
+                default=None,
+                metavar="K",
+                help="number of top-ranked plans to produce (guided search "
+                "proves exactly this many; eager ranks everything then "
+                "trims). Default: 1 under --search guided, unlimited "
+                "under eager",
             )
             p.add_argument(
                 "--midquery",

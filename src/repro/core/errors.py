@@ -34,8 +34,24 @@ class OptimizationError(ReproError):
     """Raised when the optimizer is misconfigured or cannot produce a plan."""
 
 
+class OptimizationConfigError(OptimizationError, ValueError):
+    """Raised for invalid optimizer configuration values (non-positive job
+    counts, unknown search modes, bad sampling limits).
+
+    Also a :class:`ValueError`, so callers validating user input can catch
+    it without importing the library hierarchy.
+    """
+
+
 class ExecutionError(ReproError):
     """Raised by the execution engine for runtime failures."""
+
+
+class ExecutionConfigError(ExecutionError, ValueError):
+    """Raised for invalid engine configuration values (non-positive worker
+    counts).  Also a :class:`ValueError`; see
+    :class:`OptimizationConfigError`.
+    """
 
 
 class FeedbackError(ReproError):

@@ -42,7 +42,7 @@ import os
 import warnings
 from dataclasses import dataclass
 
-from ..core.errors import ExecutionError
+from ..core.errors import ExecutionConfigError, ExecutionError
 from ..core.operators import (
     CoGroupOp,
     CrossOp,
@@ -169,8 +169,12 @@ class Engine:
         self.reuse_subtree_results = reuse_subtree_results
         self.streaming = streaming
         self.stream_batch_rows = max(1, stream_batch_rows)
-        if not isinstance(engine_jobs, int) or engine_jobs < 1:
-            raise ExecutionError(
+        if (
+            not isinstance(engine_jobs, int)
+            or isinstance(engine_jobs, bool)
+            or engine_jobs < 1
+        ):
+            raise ExecutionConfigError(
                 f"engine_jobs must be an integer >= 1, got {engine_jobs!r}"
             )
         if engine_jobs > 1 and not _pool.available():

@@ -103,6 +103,21 @@ class FeedbackEstimator(CardinalityEstimator):
                 )
         return super()._estimate(node)
 
+    def bound_stats_via(self, node: Node, child_stats) -> EstStats:
+        # Mirror the observation pinning above: the guided search's lower
+        # bound must see the same output cardinality the estimate will,
+        # otherwise a pinned-low node could make the bound *exceed* the
+        # true cost and break admissibility.
+        if isinstance(node.op, UdfOperator):
+            stats = self.store.node_stats(resolved_signature_key(node))
+            if stats is not None:
+                return EstStats(
+                    rows=stats.rows_out,
+                    width=self._width(node),
+                    calls=stats.udf_calls,
+                )
+        return super().bound_stats_via(node, child_stats)
+
 
 # ---------------------------------------------------------------------------
 # q-error

@@ -45,13 +45,22 @@ from .enumeration import (
     count_alternatives,
     enum_alternatives_chain,
     enumerate_flows,
+    iter_flows,
 )
 from .memo import Memo
-from .optimizer import OptimizationResult, Optimizer, RankedPlan, optimize
+from .optimizer import (
+    OptimizationResult,
+    Optimizer,
+    RankedPlan,
+    SearchStats,
+    optimize,
+)
 from .physical import (
+    BoundEntry,
     LocalStrategy,
     PhysicalOptimizer,
     PhysNode,
+    PlanLowerBound,
     Ship,
     ShipKind,
     optimize_physical,
@@ -64,6 +73,7 @@ from .rules import (
 )
 
 __all__ = [
+    "BoundEntry",
     "CardinalityEstimator",
     "CostParams",
     "EstStats",
@@ -75,7 +85,9 @@ __all__ = [
     "PhysNode",
     "PhysicalOptimizer",
     "PlanContext",
+    "PlanLowerBound",
     "RankedPlan",
+    "SearchStats",
     "Ship",
     "ShipKind",
     "can_exchange_unary_binary",
@@ -84,6 +96,7 @@ __all__ = [
     "count_alternatives",
     "enum_alternatives_chain",
     "enumerate_flows",
+    "iter_flows",
     "kgp_kat",
     "kgp_map",
     "kgp_match_side",

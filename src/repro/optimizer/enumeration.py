@@ -15,6 +15,7 @@ Two enumerators are provided:
 from __future__ import annotations
 
 from collections import deque
+from typing import Iterator
 
 from ..core.errors import OptimizationError, PlanError
 from ..core.operators import Sink, Source, UdfOperator
@@ -47,22 +48,37 @@ def _neighbors_memo(
     return result
 
 
-def enumerate_flows(
-    body: Node, ctx: PlanContext, limit: int = 1_000_000
-) -> list[Node]:
-    """All data flows derivable from ``body`` by valid reorderings.
+def iter_flows(
+    body: Node,
+    ctx: PlanContext,
+    limit: int = 1_000_000,
+    neighbor_memo: dict[Node, tuple[Node, ...]] | None = None,
+) -> Iterator[Node]:
+    """Lazily yield all flows derivable from ``body`` by valid reorderings.
 
-    ``body`` must be sink-free (use :func:`repro.core.plan.body`); the
-    original flow is always element 0 of the result.
+    Alternatives are produced in exact breadth-first discovery order —
+    identical, prefix for prefix, to :func:`enumerate_flows` — so a
+    consumer that stops early (the guided search's sampler, top-k
+    callers) sees the same deterministic sequence the eager enumerator
+    materializes.  ``body`` must be sink-free (use
+    :func:`repro.core.plan.body`); the original flow is always yielded
+    first.
+
+    ``neighbor_memo`` may be a caller-owned dict (the
+    :class:`~repro.optimizer.memo.Memo`'s ``neighbors`` table): swap
+    legality is hint-independent, so neighbor lists persist across
+    optimize calls and feedback rounds and partial expansions resume for
+    free.
     """
     if isinstance(body.op, Sink):
         raise PlanError("strip the sink before enumerating (see plan.body)")
+    if neighbor_memo is None:
+        neighbor_memo = {}
     # Nodes are hash-consed, so membership in the seen-set is an O(1)
     # identity check — no signatures are recomputed per BFS neighbor.
     seen: set[Node] = {body}
     queue: deque[Node] = deque([body])
-    order: list[Node] = [body]
-    neighbor_memo: dict[Node, tuple[Node, ...]] = {}
+    yield body
     while queue:
         current = queue.popleft()
         for alternative in _neighbors_memo(current, ctx, neighbor_memo):
@@ -73,9 +89,22 @@ def enumerate_flows(
                     f"enumeration exceeded {limit} alternatives"
                 )
             seen.add(alternative)
-            order.append(alternative)
             queue.append(alternative)
-    return order
+            yield alternative
+
+
+def enumerate_flows(
+    body: Node,
+    ctx: PlanContext,
+    limit: int = 1_000_000,
+    neighbor_memo: dict[Node, tuple[Node, ...]] | None = None,
+) -> list[Node]:
+    """All data flows derivable from ``body`` by valid reorderings.
+
+    ``body`` must be sink-free (use :func:`repro.core.plan.body`); the
+    original flow is always element 0 of the result.
+    """
+    return list(iter_flows(body, ctx, limit, neighbor_memo))
 
 
 def count_alternatives(body: Node, ctx: PlanContext) -> int:

@@ -44,16 +44,16 @@ from ..core.plan import Node
 from .cardinality import CardinalityEstimator, EstStats
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle (physical imports memo)
-    from .physical import PhysNode
+    from .physical import BoundEntry, PhysNode
 
 
 class _RegisteringDict(dict):
-    """Estimate cache that registers every new key in the memo's index.
+    """Node-keyed cache that registers every new key in the memo's index.
 
-    The cardinality estimator writes ``cache[node] = stats`` on its own;
+    The cardinality estimator writes ``cache[node] = value`` on its own;
     routing those writes through the memo's dependency index keeps
-    :meth:`Memo.invalidate` authoritative over the estimate cache without
-    the estimator knowing the memo exists.
+    :meth:`Memo.invalidate` authoritative over the cache without the
+    writer knowing the memo exists.
     """
 
     __slots__ = ("_memo",)
@@ -62,7 +62,7 @@ class _RegisteringDict(dict):
         super().__init__()
         self._memo = memo
 
-    def __setitem__(self, key: Node, value: EstStats) -> None:
+    def __setitem__(self, key: Node, value) -> None:
         self._memo._register(key)
         super().__setitem__(key, value)
 
@@ -91,6 +91,25 @@ class Memo:
         #: Optimized flow -> its enumerated closure.  Swap legality does
         #: not depend on hints, so re-optimization reuses the closure.
         self.closures: dict[Node, tuple[Node, ...]] = {}
+        #: Interned node -> its legal single-swap neighbors.  These are the
+        #: partial-closure entries of the guided search: legality is
+        #: hint-independent, so they survive :meth:`invalidate` and make
+        #: re-search after a statistics change expand for free.
+        self.neighbors: dict[Node, tuple[Node, ...]] = {}
+        #: (flow, limit, seed) -> sampled alternative subset, drawn during
+        #: expansion (reservoir).  Sampling is hint-independent, so cached
+        #: samples survive :meth:`invalidate` and keep ``reoptimize``
+        #: deterministic under ``max_alternatives``.
+        self.samples: dict[tuple[Node, int, int], tuple[Node, ...]] = {}
+        #: Interned logical sub-plan -> admissible lower-bound summary
+        #: (:class:`~repro.optimizer.physical.BoundEntry`).  A bound
+        #: depends on the subtree's statistics and hints exactly like an
+        #: estimate does, so :meth:`invalidate` evicts it along the same
+        #: dirty spine.  Writers (:class:`~repro.optimizer.physical.
+        #: PlanLowerBound`) register keys lazily through ``_pending`` —
+        #: the adopt() pattern — keeping the per-entry hot path free of
+        #: the dependency-index walk.
+        self.bounds: dict[Node, "BoundEntry"] = {}
         self._op_names = op_names if op_names is not None else self._names_of
         self._names: dict[Node, frozenset[str]] = {}
         # Reverse dependency index: operator name -> every node ever
@@ -181,9 +200,10 @@ class Memo:
         own entry and every entry *above* it (any node whose subtree
         contains it), while sibling subtrees — typically the overwhelming
         majority of a plan space's distinct sub-plans — stay cached.
-        Both the physical options table and the estimate cache are
-        evicted; widths and closures are hint-independent and survive.
-        Returns the number of entries evicted.
+        The physical options table, the estimate cache, and the guided
+        search's bound cache are evicted; widths, closures, neighbors and
+        samples are hint-independent and survive.  Returns the number of
+        entries evicted.
         """
         self._drain_pending()
         victims: set[Node] = set()
@@ -194,9 +214,11 @@ class Memo:
         evicted = 0
         table_pop = self.table.pop
         est_pop = self.est_cache.pop  # plain dict.pop: eviction, not a write
+        bound_pop = self.bounds.pop
         for node in victims:
             hit = table_pop(node, None) is not None
             hit = (est_pop(node, None) is not None) or hit
+            hit = (bound_pop(node, None) is not None) or hit
             if hit:
                 evicted += 1
         return evicted
@@ -242,4 +264,8 @@ class Memo:
         )
         for flow, closure in other.closures.items():
             self.closures.setdefault(flow, closure)
+        for node, neighbors in other.neighbors.items():
+            self.neighbors.setdefault(node, neighbors)
+        for key, sample in other.samples.items():
+            self.samples.setdefault(key, sample)
         return count

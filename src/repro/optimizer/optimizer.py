@@ -4,25 +4,60 @@ The optimization process mirrors the paper's prototype: obtain UDF
 properties (manual annotations or SCA), enumerate all valid reordered data
 flows, call the cost-based physical optimizer on each alternative, and
 rank the resulting execution plans by estimated cost.
+
+Two search strategies share that pipeline.  ``search="eager"`` (the
+reference) costs every alternative and sorts.  ``search="guided"`` runs a
+best-first search: alternatives stream out of the generator-based
+enumerator straight into a priority frontier ordered by an admissible
+lower bound (:class:`~repro.optimizer.physical.PlanLowerBound`), only the
+frontier head is physically costed, and the search stops as soon as the
+requested top-``k`` completed plans are provably cheaper — under the
+eager tie-break — than every open node's bound.  The two strategies
+return bit-identical plans for the guaranteed prefix; guided simply
+refuses to cost the part of the closure that cannot matter.
 """
 
 from __future__ import annotations
 
+import heapq
 import random
+from bisect import insort
 from dataclasses import dataclass, field
-from typing import Callable, Iterable
+from typing import Callable, Iterable, Iterator
 
 from ..core.catalog import Catalog
-from ..core.errors import OptimizationError
+from ..core.errors import OptimizationConfigError, OptimizationError
 from ..core.plan import Node, body as plan_body, signature
 from ..core.udf import AnnotationMode
 from ..obs.tracer import NOOP_TRACER, clock
 from .cardinality import CardinalityEstimator, Hints
 from .context import PlanContext
 from .cost import CostParams
-from .enumeration import enumerate_flows
+from .enumeration import iter_flows
 from .memo import Memo
-from .physical import PhysicalOptimizer, PhysNode
+from .physical import PhysicalOptimizer, PhysNode, PlanLowerBound
+
+
+@dataclass(frozen=True, slots=True)
+class SearchStats:
+    """Work accounting for one :meth:`Optimizer.optimize` call.
+
+    ``expanded`` counts logical alternatives generated into the search
+    (the frontier for guided, the sampled closure for eager); ``costed``
+    counts alternatives physically optimized; ``pruned`` is the open
+    frontier the guided termination rule never had to cost;
+    ``bounds_computed`` counts fresh lower-bound entries;
+    ``estimate_calls`` counts cardinality-estimate cache misses spent.
+    All five are exported as ``optimizer.search.*`` / ``optimizer.estimates``
+    counters through :mod:`repro.obs`.
+    """
+
+    search: str
+    expanded: int
+    costed: int
+    pruned: int
+    bounds_computed: int
+    estimate_calls: int
 
 
 @dataclass(frozen=True, slots=True)
@@ -46,6 +81,8 @@ class OptimizationResult:
     ranked: list[RankedPlan]  # ascending estimated cost
     enumeration_seconds: float
     physical_seconds: float
+    #: Search-work accounting (expanded/costed/pruned/bounds/estimates).
+    search_stats: SearchStats | None = None
     _rank_index: dict[Node, int] | None = field(default=None, repr=False)
 
     @property
@@ -117,9 +154,21 @@ class Optimizer:
     sequential costing; on platforms without ``fork`` the setting is
     ignored.
 
+    **Search strategies.**  ``search="eager"`` (the default and the
+    parity reference) costs every candidate and sorts.  ``search="guided"``
+    runs the best-first search of :meth:`_optimize_guided`: candidates
+    stream into a frontier ordered by an admissible lower bound
+    (:class:`~repro.optimizer.physical.PlanLowerBound`), only frontier
+    heads are costed, and the search stops once the requested ``top_k``
+    prefix is provably final — returning the bit-identical top-``k``
+    eager would, at a small fraction of the costing (and estimation)
+    work.  ``top_k`` trims eager's ranking the same way, so the two
+    strategies stay interchangeable.
+
     **Plan-space sampling.**  ``max_alternatives=N`` ranks a deterministic
     sample of the closure — the implemented flow plus ``N - 1``
-    alternatives drawn without replacement by ``sample_seed`` — for flows
+    alternatives reservoir-sampled without replacement by ``sample_seed``
+    *during* expansion (the closure never materializes) — for flows
     whose closure explodes; the sampled alternatives are still costed
     through the shared memo, whose branch-and-bound cut keeps each
     costing cost-bounded.  ``None`` (the default) ranks the full closure.
@@ -146,18 +195,37 @@ class Optimizer:
         jobs: int = 1,
         max_alternatives: int | None = None,
         sample_seed: int = 0,
+        search: str = "eager",
+        top_k: int | None = None,
         tracer=None,
     ) -> None:
-        if jobs < 1:
-            raise OptimizationError(f"jobs must be >= 1, got {jobs}")
+        if not isinstance(jobs, int) or isinstance(jobs, bool) or jobs < 1:
+            raise OptimizationConfigError(
+                f"jobs must be an integer >= 1, got {jobs!r}"
+            )
         if jobs > 1 and not reuse_memo:
-            raise OptimizationError(
+            raise OptimizationConfigError(
                 "jobs > 1 requires reuse_memo=True: the reference path "
                 "re-plans every alternative sequentially from scratch"
             )
         if max_alternatives is not None and max_alternatives < 1:
-            raise OptimizationError(
+            raise OptimizationConfigError(
                 f"max_alternatives must be None or >= 1, got {max_alternatives}"
+            )
+        if search not in ("eager", "guided"):
+            raise OptimizationConfigError(
+                f"search must be 'eager' or 'guided', got {search!r}"
+            )
+        if search == "guided" and not reuse_memo:
+            raise OptimizationConfigError(
+                "search='guided' requires reuse_memo=True: the bound table "
+                "lives in the shared memo"
+            )
+        if top_k is not None and (
+            not isinstance(top_k, int) or isinstance(top_k, bool) or top_k < 1
+        ):
+            raise OptimizationConfigError(
+                f"top_k must be None or an integer >= 1, got {top_k!r}"
             )
         self.catalog = catalog
         self.hints = hints or {}
@@ -169,6 +237,12 @@ class Optimizer:
         self.jobs = jobs
         self.max_alternatives = max_alternatives
         self.sample_seed = sample_seed
+        self.search = search
+        #: Ranked-prefix length to guarantee.  ``None`` means "everything"
+        #: for eager and "the rank-1 plan" for guided (a guided search
+        #: asked for the full ranking would have to cost the whole
+        #: closure, defeating it).
+        self.top_k = top_k
         # Wall-clock observability (repro.obs); the tracer never touches
         # estimates, costs, or ranking — planning output is bit-identical
         # with tracing on or off.
@@ -203,56 +277,33 @@ class Optimizer:
         tracer = self.tracer
         root_span = tracer.span("optimizer.optimize", category="optimizer")
         with root_span:
-            t0 = clock()
-            with tracer.span("optimizer.enumerate", category="optimizer") as enum_span:
-                alternatives = self._closure(flow, memo)
-                sampled = self._sample(alternatives)
-            enum_span.set(closure=len(alternatives), sampled=len(sampled))
-            t1 = clock()
             estimator = self.estimator_factory(self.ctx, self.hints)
             self.last_estimator = estimator
-            scored: list[tuple[float, Node, PhysNode]] = []
-            cost_span = tracer.span(
-                "optimizer.cost",
-                category="optimizer",
-                alternatives=len(sampled),
-                jobs=self.jobs,
-            )
-            with cost_span:
-                if self.reuse_memo:
-                    shared_memo = memo if memo is not None else self.new_memo()
-                    shared_memo.bind(estimator)
-                    for alt, phys in self._cost_all(sampled, estimator, shared_memo):
-                        scored.append((phys.cost_total, alt, phys))
-                else:
-                    for alt in sampled:
-                        with tracer.span(
-                            "optimizer.alternative", category="optimizer"
-                        ):
-                            physical_optimizer = PhysicalOptimizer(
-                                self.ctx, estimator, self.params
-                            )
-                            phys = physical_optimizer.optimize(alt)
-                        scored.append((phys.cost_total, alt, phys))
-            t2 = clock()
-            # Stable sort: equal-cost plans keep enumeration order, identical
-            # between the sequential, memo-reusing, and parallel paths.
-            scored.sort(key=lambda item: item[0])
-            ranked = [
-                RankedPlan(rank=i + 1, body=alt, physical=phys)
-                for i, (_, alt, phys) in enumerate(scored)
-            ]
+            if self.search == "guided":
+                ranked, stats, enum_secs, phys_secs = self._optimize_guided(
+                    flow, memo, estimator
+                )
+            else:
+                ranked, stats, enum_secs, phys_secs = self._optimize_eager(
+                    flow, memo, estimator
+                )
         root_span.set(
-            alternatives=len(sampled),
+            alternatives=stats.costed,
             best_cost=ranked[0].cost if ranked else 0.0,
         )
         tracer.count("optimizer.optimizations")
-        tracer.count("optimizer.alternatives_costed", len(sampled))
+        tracer.count("optimizer.alternatives_costed", stats.costed)
+        tracer.count("optimizer.search.expanded", stats.expanded)
+        tracer.count("optimizer.search.costed", stats.costed)
+        tracer.count("optimizer.search.pruned", stats.pruned)
+        tracer.count("optimizer.search.bounds", stats.bounds_computed)
+        tracer.count("optimizer.estimates", stats.estimate_calls)
         return OptimizationResult(
             original_body=flow,
             ranked=ranked,
-            enumeration_seconds=t1 - t0,
-            physical_seconds=t2 - t1,
+            enumeration_seconds=enum_secs,
+            physical_seconds=phys_secs,
+            search_stats=stats,
         )
 
     def reoptimize(
@@ -278,30 +329,243 @@ class Optimizer:
 
     # -- internals ---------------------------------------------------------
 
-    def _closure(self, flow: Node, memo: Memo | None) -> tuple[Node, ...]:
-        """The flow's enumerated closure, cached in the memo if present.
+    def _optimize_eager(
+        self,
+        flow: Node,
+        memo: Memo | None,
+        estimator: CardinalityEstimator,
+    ) -> tuple[list[RankedPlan], SearchStats, float, float]:
+        """The reference strategy: cost every candidate, sort, rank."""
+        tracer = self.tracer
+        t0 = clock()
+        with tracer.span("optimizer.enumerate", category="optimizer") as enum_span:
+            sampled = self._candidates(flow, memo)
+        enum_span.set(sampled=len(sampled))
+        t1 = clock()
+        scored: list[tuple[float, Node, PhysNode]] = []
+        cost_span = tracer.span(
+            "optimizer.cost",
+            category="optimizer",
+            alternatives=len(sampled),
+            jobs=self.jobs,
+        )
+        with cost_span:
+            if self.reuse_memo:
+                shared_memo = memo if memo is not None else self.new_memo()
+                shared_memo.bind(estimator)
+                for alt, phys in self._cost_all(sampled, estimator, shared_memo):
+                    scored.append((phys.cost_total, alt, phys))
+            else:
+                for alt in sampled:
+                    with tracer.span(
+                        "optimizer.alternative", category="optimizer"
+                    ):
+                        physical_optimizer = PhysicalOptimizer(
+                            self.ctx, estimator, self.params
+                        )
+                        phys = physical_optimizer.optimize(alt)
+                    scored.append((phys.cost_total, alt, phys))
+        t2 = clock()
+        # Stable sort: equal-cost plans keep enumeration order, identical
+        # between the sequential, memo-reusing, and parallel paths.
+        scored.sort(key=lambda item: item[0])
+        ranked = [
+            RankedPlan(rank=i + 1, body=alt, physical=phys)
+            for i, (_, alt, phys) in enumerate(scored)
+        ]
+        if self.top_k is not None:
+            ranked = ranked[: self.top_k]
+        stats = SearchStats(
+            search="eager",
+            expanded=len(sampled),
+            costed=len(sampled),
+            pruned=0,
+            bounds_computed=0,
+            estimate_calls=estimator.estimate_calls,
+        )
+        return ranked, stats, t1 - t0, t2 - t1
 
-        Swap legality depends on derived plan properties, never on hints,
-        so a memo-cached closure stays valid across invalidations.
+    def _optimize_guided(
+        self,
+        flow: Node,
+        memo: Memo | None,
+        estimator: CardinalityEstimator,
+    ) -> tuple[list[RankedPlan], SearchStats, float, float]:
+        """Best-first search: cost only what the bound cannot rule out.
+
+        Every candidate streams out of the generator-based enumerator into
+        a frontier heap keyed by ``(lower_bound, discovery_index)``; only
+        the head is physically costed.  Because the eager reference ranks
+        by a stable sort — i.e. by the lexicographic key ``(true_cost,
+        discovery_index)`` — and ``true_cost >= lower_bound``, an open
+        node whose heap key exceeds the k-th completed plan's key can
+        never enter the true top-k, and the heap pops in ascending key
+        order, so the first such head terminates the search with the
+        bit-identical top-k prefix eager would produce.
         """
-        if memo is not None:
+        tracer = self.tracer
+        k = self.top_k if self.top_k is not None else 1
+        shared_memo = memo if memo is not None else self.new_memo()
+        shared_memo.bind(estimator)
+        bounder = PlanLowerBound(self.ctx, estimator, self.params, shared_memo)
+        bounds_before = len(shared_memo.bounds)
+        t0 = clock()
+        with tracer.span("optimizer.enumerate", category="optimizer") as enum_span:
+            frontier: list[tuple[float, int, Node]] = [
+                (bounder.bound(alt), idx, alt)
+                for idx, alt in enumerate(self._expand(flow, shared_memo))
+            ]
+            heapq.heapify(frontier)
+        expanded = len(frontier)
+        enum_span.set(sampled=expanded)
+        t1 = clock()
+        # Completed plans, kept sorted by (cost, discovery index) — the
+        # eager tie-break.  Indices are unique, so tuple comparison never
+        # reaches the (incomparable) Node/PhysNode elements.
+        completed: list[tuple[float, int, Node, PhysNode]] = []
+        cost_span = tracer.span(
+            "optimizer.cost",
+            category="optimizer",
+            alternatives=expanded,
+            jobs=self.jobs,
+        )
+        with cost_span:
+            use_parallel = False
+            if self.jobs > 1 and expanded > 1:
+                from . import parallel
+
+                use_parallel = parallel.available()
+            physical_optimizer = PhysicalOptimizer(
+                self.ctx, estimator, self.params, memo=shared_memo
+            )
+
+            def settled() -> bool:
+                return (
+                    len(completed) >= k
+                    and frontier[0][:2] > completed[k - 1][:2]
+                )
+
+            while frontier:
+                if settled():
+                    break
+                if use_parallel:
+                    # Pop a topological wave of frontier heads and cost it
+                    # across the worker pool; the termination rule is
+                    # re-checked between pops, so a wave may cost a few
+                    # plans sequential search would have skipped — they
+                    # are trimmed below, keeping results bit-identical.
+                    wave = [heapq.heappop(frontier)]
+                    cap = self.jobs * 4
+                    while len(wave) < cap and frontier and not settled():
+                        wave.append(heapq.heappop(frontier))
+                    costed = parallel.cost_alternatives(
+                        tuple(alt for _, _, alt in wave),
+                        self.ctx,
+                        estimator,
+                        self.params,
+                        shared_memo,
+                        min(self.jobs, len(wave)),
+                        tracer=tracer,
+                    )
+                    for (_, idx, alt), (_, phys) in zip(wave, costed):
+                        insort(completed, (phys.cost_total, idx, alt, phys))
+                else:
+                    _, idx, alt = heapq.heappop(frontier)
+                    with tracer.span(
+                        "optimizer.alternative", category="optimizer"
+                    ):
+                        phys = physical_optimizer.optimize(alt)
+                    insort(completed, (phys.cost_total, idx, alt, phys))
+        t2 = clock()
+        ranked = [
+            RankedPlan(rank=i + 1, body=alt, physical=phys)
+            for i, (_, _, alt, phys) in enumerate(completed[:k])
+        ]
+        stats = SearchStats(
+            search="guided",
+            expanded=expanded,
+            costed=len(completed),
+            pruned=len(frontier),
+            bounds_computed=len(shared_memo.bounds) - bounds_before,
+            estimate_calls=estimator.estimate_calls,
+        )
+        return ranked, stats, t1 - t0, t2 - t1
+
+    def _expand(self, flow: Node, memo: Memo) -> Iterator[Node]:
+        """Candidate stream for the guided search, in discovery order.
+
+        Without sampling the closure is never materialized: candidates
+        stream straight from :func:`iter_flows` (reusing — and growing —
+        the memo's persistent neighbor cache), unless a prior eager call
+        already cached the closure tuple.  With ``max_alternatives`` the
+        deterministic reservoir sample is used, identical to eager's.
+        """
+        if self.max_alternatives is None:
             cached = memo.closures.get(flow)
             if cached is not None:
-                return cached
-        alternatives = tuple(enumerate_flows(flow, self.ctx))
-        if memo is not None:
-            memo.closures[flow] = alternatives
-        return alternatives
+                return iter(cached)
+            return iter_flows(flow, self.ctx, neighbor_memo=memo.neighbors)
+        return iter(self._candidates(flow, memo))
 
-    def _sample(self, alternatives: tuple[Node, ...]) -> tuple[Node, ...]:
-        """Deterministic closure sample: the original + N-1 seeded draws."""
+    def _candidates(self, flow: Node, memo: Memo | None) -> tuple[Node, ...]:
+        """The (possibly sampled) candidate tuple, cached in the memo.
+
+        Swap legality and sampling depend on derived plan properties and
+        the seed, never on hints, so memo-cached closures and samples
+        stay valid across invalidations.
+        """
         limit = self.max_alternatives
-        if limit is None or len(alternatives) <= limit:
-            return alternatives
+        neighbor_memo = memo.neighbors if memo is not None else None
+        if limit is None:
+            if memo is not None:
+                cached = memo.closures.get(flow)
+                if cached is not None:
+                    return cached
+            closure = tuple(
+                iter_flows(flow, self.ctx, neighbor_memo=neighbor_memo)
+            )
+            if memo is not None:
+                memo.closures[flow] = closure
+            return closure
+        key = (flow, limit, self.sample_seed)
+        if memo is not None:
+            cached_sample = memo.samples.get(key)
+            if cached_sample is not None:
+                return cached_sample
+        sampled = self._reservoir(flow, limit, neighbor_memo)
+        if memo is not None:
+            memo.samples[key] = sampled
+        return sampled
+
+    def _reservoir(
+        self,
+        flow: Node,
+        limit: int,
+        neighbor_memo: dict[Node, tuple[Node, ...]] | None,
+    ) -> tuple[Node, ...]:
+        """Deterministic sample drawn *during* expansion (Algorithm R).
+
+        The implemented flow is always kept; the remaining ``limit - 1``
+        slots hold a uniform without-replacement sample of the rest of
+        the closure, which therefore never materializes.  The result is
+        ordered by discovery index, keeping equal-cost tie-breaks stable.
+        """
         rng = random.Random(self.sample_seed)
-        drawn = rng.sample(range(1, len(alternatives)), limit - 1)
-        # Ascending enumeration order keeps equal-cost tie-breaks stable.
-        return (alternatives[0], *(alternatives[i] for i in sorted(drawn)))
+        flows = iter_flows(flow, self.ctx, neighbor_memo=neighbor_memo)
+        original = next(flows)
+        keep = limit - 1
+        reservoir: list[tuple[int, Node]] = []
+        seen = 0
+        for idx, alt in enumerate(flows, start=1):
+            seen += 1
+            if seen <= keep:
+                reservoir.append((idx, alt))
+                continue
+            slot = rng.randrange(seen)
+            if slot < keep:
+                reservoir[slot] = (idx, alt)
+        reservoir.sort()
+        return (original, *(alt for _, alt in reservoir))
 
     def _cost_all(
         self,

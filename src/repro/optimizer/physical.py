@@ -581,3 +581,230 @@ def optimize_physical(
 ) -> PhysNode:
     """Choose shipping and local strategies for one logical flow."""
     return PhysicalOptimizer(ctx, estimator, params).optimize(body)
+
+
+# ---------------------------------------------------------------------------
+# Admissible lower bounds (guided search)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class BoundEntry:
+    """Lower-bound summary of one logical sub-plan.
+
+    ``stats`` are the node's bound cardinalities — numerically identical
+    to :meth:`CardinalityEstimator.estimate` (they run the same formulas
+    via :meth:`~CardinalityEstimator.bound_stats_via`) but cached in the
+    memo's bound table so computing bounds never spends estimate-cache
+    misses.  ``possible`` is the union of every partition group any
+    physical option of this subtree could output — a superset, so a key
+    no possible group satisfies proves every option must repartition.
+    ``cost_lb`` is an admissible total-cost bound: ``cost_lb <=
+    min(option.cost_total for option in options(node))``.
+    """
+
+    stats: EstStats
+    possible: frozenset[frozenset[Attribute]]
+    cost_lb: float
+
+
+class PlanLowerBound:
+    """Admissible cheapest-possible-cost bounds over logical sub-plans.
+
+    Mirrors each planner of :class:`PhysicalOptimizer`, keeping every
+    cost term that *all* physical options of a node must pay and dropping
+    only the terms that depend on which child option is chosen:
+
+    * cardinalities, widths and UDF CPU are exact (bound stats equal the
+      estimates by construction);
+    * network terms for partitioned Reduce/Match/CoGroup inputs are
+      charged only when no *possible* child partition group is compatible
+      with the key — then every option genuinely repartitions;
+    * Match/Cross take the minimum over their repartition/broadcast
+      variants, each variant itself relaxed as above.
+
+    Every cost formula is monotone non-decreasing in the terms kept, so
+    each node's bound is at most any option's ``cost_self`` plus its
+    children's bounds; by induction ``bound(root)`` never exceeds the
+    cheapest physical plan's true cost.  Entries are memoized in
+    ``memo.bounds`` (dirty-spine invalidated, since bounds depend on the
+    subtree's hints and statistics exactly like estimates do).
+    """
+
+    def __init__(
+        self,
+        ctx: PlanContext,
+        estimator: CardinalityEstimator,
+        params: CostParams,
+        memo: Memo,
+    ) -> None:
+        self.ctx = ctx
+        self.est = estimator
+        self.params = params
+        self._bounds = memo.bounds
+        # Bound writes defer dependency registration (the adopt() pattern):
+        # invalidate()/dependents_of() drain this before consulting the
+        # index, so eviction stays exact while the per-entry hot path
+        # skips the op-names walk.
+        self._pending = memo._pending
+        # Per-operator invariants (join keys as frozensets, write-filtered
+        # repartition properties): one operator object appears in
+        # thousands of distinct nodes, so these are hoisted per op.
+        self._op_keys: dict = {}
+
+    def bound(self, node: Node) -> float:
+        """Admissible lower bound on the node's cheapest physical cost."""
+        cached = self._bounds.get(node)
+        if cached is None:
+            cached = self._compute(node)
+            self._bounds[node] = cached
+            self._pending.append(node)
+        return cached.cost_lb
+
+    def entry(self, node: Node) -> BoundEntry:
+        cached = self._bounds.get(node)
+        if cached is None:
+            cached = self._compute(node)
+            self._bounds[node] = cached
+            self._pending.append(node)
+        return cached
+
+    def _udf_cpu(self, node: Node, est: EstStats) -> float:
+        hint = self.est.hints_for(node.op.name)
+        params = self.params
+        units = est.calls * hint.cpu_per_call + est.rows * params.record_overhead
+        return params.cpu_seconds(units)
+
+    def _compute(self, node: Node) -> BoundEntry:
+        op = node.op
+        params = self.params
+        entries = tuple(self.entry(child) for child in node.children)
+        stats_of = {
+            child: entry.stats for child, entry in zip(node.children, entries)
+        }.__getitem__
+        est = self.est.bound_stats_via(node, stats_of)
+        if isinstance(op, Source):
+            if isinstance(op, MaterializedSource):
+                # Exact: the single option is free and pre-partitioned.
+                return BoundEntry(est, frozenset(op.partitioning), 0.0)
+            return BoundEntry(est, RANDOM, params.disk_seconds(est.bytes))
+        if isinstance(op, Sink):
+            child = entries[0]
+            return BoundEntry(est, child.possible, child.cost_lb)
+        writes = self.ctx.props(op).writes
+        if isinstance(op, MapOp):
+            child = entries[0]
+            cost = self._udf_cpu(node, est)
+            return BoundEntry(
+                est,
+                _keep_partitionings(child.possible, writes),
+                cost + child.cost_lb,
+            )
+        if isinstance(op, ReduceOp):
+            child = entries[0]
+            key = op.key_attrs()
+            cost = 0.0
+            if not _compatible(child.possible, key):
+                cost += params.net_seconds(params.partition_bytes(child.stats.bytes))
+            cost += params.cpu_seconds(params.sort_units(child.stats.rows))
+            cost += params.disk_seconds(params.spill_bytes(child.stats.bytes))
+            cost += self._udf_cpu(node, est)
+            return BoundEntry(est, frozenset({key}), cost + child.cost_lb)
+        if isinstance(op, MatchOp):
+            left, right = entries
+            keys = self._op_keys.get(op)
+            if keys is None:
+                keys = (
+                    frozenset(op.left_key_attrs()),
+                    frozenset(op.right_key_attrs()),
+                    _keep_partitionings(
+                        frozenset(
+                            {
+                                frozenset(op.left_key_attrs()),
+                                frozenset(op.right_key_attrs()),
+                            }
+                        ),
+                        writes,
+                    ),
+                )
+                self._op_keys[op] = keys
+            lkey, rkey, repart_possible = keys
+            sides = (left, right)
+            # (a) repartition hash join: per-side net only when no possible
+            # child partitioning is compatible (then every option pays it);
+            # build/probe/spill terms are exact in the child estimates.
+            self_lb = 0.0
+            for child, key in ((left, lkey), (right, rkey)):
+                if not _compatible(child.possible, key):
+                    self_lb += params.net_seconds(
+                        params.partition_bytes(child.stats.bytes)
+                    )
+            build = 0 if left.stats.bytes <= right.stats.bytes else 1
+            probe = 1 - build
+            self_lb += params.cpu_seconds(
+                sides[build].stats.rows * params.build_unit
+                + sides[probe].stats.rows * params.probe_unit
+            )
+            self_lb += params.disk_seconds(
+                params.spill_bytes(sides[build].stats.bytes)
+            )
+            # (b)/(c) broadcast variants are exact in the child estimates.
+            for build_side in (0, 1):
+                b = sides[build_side].stats
+                p = sides[1 - build_side].stats
+                cost = params.net_seconds(params.broadcast_bytes(b.bytes))
+                cost += params.cpu_seconds_single(b.rows * params.build_unit)
+                cost += params.cpu_seconds(p.rows * params.probe_unit)
+                cost += params.disk_seconds(
+                    params.spill_bytes(b.bytes * params.degree)
+                )
+                if cost < self_lb:
+                    self_lb = cost
+            possible = repart_possible | _keep_partitionings(
+                left.possible | right.possible, writes
+            )
+            return BoundEntry(
+                est,
+                possible,
+                self_lb
+                + self._udf_cpu(node, est)
+                + left.cost_lb
+                + right.cost_lb,
+            )
+        if isinstance(op, CrossOp):
+            left, right = entries
+            self_lb = min(
+                params.net_seconds(params.broadcast_bytes(side.stats.bytes))
+                for side in (left, right)
+            )
+            self_lb += params.cpu_seconds(est.calls * params.cross_unit)
+            self_lb += self._udf_cpu(node, est)
+            possible = _keep_partitionings(left.possible | right.possible, writes)
+            return BoundEntry(
+                est, possible, self_lb + left.cost_lb + right.cost_lb
+            )
+        if isinstance(op, CoGroupOp):
+            left, right = entries
+            keys = self._op_keys.get(op)
+            if keys is None:
+                keys = (
+                    frozenset(op.left_key_attrs()),
+                    frozenset(op.right_key_attrs()),
+                )
+                self._op_keys[op] = keys
+            lkey, rkey = keys
+            cost = 0.0
+            for child, key in ((left, lkey), (right, rkey)):
+                if not _compatible(child.possible, key):
+                    cost += params.net_seconds(
+                        params.partition_bytes(child.stats.bytes)
+                    )
+                cost += params.cpu_seconds(params.sort_units(child.stats.rows))
+                cost += params.disk_seconds(params.spill_bytes(child.stats.bytes))
+            cost += self._udf_cpu(node, est)
+            return BoundEntry(
+                est,
+                _keep_partitionings(frozenset({lkey, rkey}), writes),
+                cost + left.cost_lb + right.cost_lb,
+            )
+        raise OptimizationError(f"cannot bound {op!r}")  # pragma: no cover
