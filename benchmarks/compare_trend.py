@@ -103,6 +103,14 @@ HEADLINES: dict[str, Headline] = {
         False,
         "live-tracer wall / untraced wall (1.0 = free)",
     ),
+    # Planning-server warm-vs-cold p50 latency ratio over a multi-tenant
+    # replay vs a curated portable floor (the bench also hard-asserts
+    # the >= 5x speedup floor and zero cross-tenant cache hits).
+    "serve.json": Headline(
+        ("warm_speedup_p50",),
+        True,
+        "planning server cold/warm p50 latency vs curated floor",
+    ),
 }
 
 
@@ -206,10 +214,14 @@ def main(argv: list[str] | None = None) -> int:
         help="snapshot fresh results into benchmarks/baselines/",
     )
     args = parser.parse_args(argv)
+    # Default set: every registered bench with a fresh result OR a
+    # committed baseline.  Including baseline-only names is what makes a
+    # bench that silently failed to produce its result a gate failure
+    # ("did the bench run?") instead of a silent skip.
     paths = [resolve(path) for path in args.results] or [
         RESULTS_DIR / name
         for name in sorted(HEADLINES)
-        if (RESULTS_DIR / name).exists()
+        if (RESULTS_DIR / name).exists() or (BASELINES_DIR / name).exists()
     ]
     if args.write_baselines:
         return write_baselines(paths)

@@ -16,11 +16,14 @@ Usage::
     python -m repro experiment clickstream --trace trace.json
     python -m repro trace summarize trace.json
     python -m repro stats migrate stats.json stats.sqlite
+    python -m repro serve --port 7411 --stats-dir stats/
+    python -m repro plan tpch_q7 --server 127.0.0.1:7411 --tenant acme
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .bench import render_figure, render_table, run_experiment
@@ -182,6 +185,111 @@ def cmd_stats_migrate(args) -> int:
 
 def cmd_stats(args) -> int:
     return args.stats_fn(args)
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve import PlanningServer, ServerConfig
+
+    tracer = None
+    if args.trace:
+        from .obs import Tracer
+
+        tracer = Tracer()
+    config = ServerConfig(
+        host=args.host,
+        port=args.port,
+        metrics_port=args.metrics_port,
+        stats_dir=args.stats_dir,
+        stats_backend=args.stats_backend,
+        search=args.search,
+        default_top_k=args.top_k,
+        max_queue=args.max_queue,
+        tenant_inflight=args.tenant_inflight,
+        max_tenants=args.max_tenants,
+    )
+    server = PlanningServer(config, tracer=tracer)
+
+    async def run() -> None:
+        await server.start()
+        if server.metrics_port is not None:
+            print(
+                f"metrics on http://{config.host}:{server.metrics_port}/metrics",
+                flush=True,
+            )
+        # The launcher contract: this line, last, means "port is bound".
+        print(f"serving on {config.host}:{server.port}", flush=True)
+        try:
+            await server.serve_forever()
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    if tracer is not None:
+        from pathlib import Path
+
+        from .obs import write_trace
+
+        count = write_trace(tracer, args.trace, fmt=args.trace_format)
+        print(f"trace: {count} span(s) written to {args.trace}")
+        if args.trace_metrics:
+            # The serve.* counters live on the server's own registry
+            # (always collected, tracing or not) — snapshot that, not
+            # the span sink's.
+            Path(args.trace_metrics).write_text(server.prometheus_text())
+            print(f"metrics snapshot written to {args.trace_metrics}")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    import json
+
+    from .serve import PlanningClient, ServeError
+
+    host, _, port = args.server.rpartition(":")
+    try:
+        port_number = int(port)
+    except ValueError:
+        print(
+            f"--server must be HOST:PORT, got {args.server!r}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with PlanningClient(host or "127.0.0.1", port_number) as client:
+            response = client.plan(
+                args.workload,
+                tenant=args.tenant,
+                mode=args.mode,
+                scale=args.scale,
+                top_k=args.top_k,
+            )
+    except ServeError as exc:
+        print(f"plan request failed: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach {args.server}: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(response, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"{response['workload']} (tenant {response['tenant']}, "
+        f"{response['cache']}, stats {response['fingerprint']}): "
+        f"cost {response['cost']:.6g}"
+    )
+    print("  " + " -> ".join(response["plan"]))
+    for ranked in response["ranked"]:
+        print(f"  #{ranked['rank']}: cost {ranked['cost']:.6g}")
+    print(
+        f"  planned in {response['planning_seconds'] * 1e3:.2f} ms, "
+        f"served in {response['serve_seconds'] * 1e3:.2f} ms"
+    )
+    return 0
 
 
 def _positive_int(text: str) -> int:
@@ -374,12 +482,133 @@ def build_parser() -> argparse.ArgumentParser:
     )
     migrate.set_defaults(stats_fn=cmd_stats_migrate)
     stats.set_defaults(fn=cmd_stats)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the long-lived multi-tenant planning server "
+        "(optimizer-as-a-service)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=7411,
+        help="TCP port (0 picks a free one; the bound port is printed)",
+    )
+    serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also expose serve.* metrics as Prometheus text over HTTP "
+        "GET /metrics on this port (0 picks a free one)",
+    )
+    serve.add_argument(
+        "--stats-dir",
+        default=None,
+        metavar="DIR",
+        help="directory of per-tenant statistics stores (<tenant>.sqlite; "
+        "shareable with ingesting `repro experiment --stats-store` "
+        "processes). Default: in-memory stores, no persistence",
+    )
+    serve.add_argument(
+        "--stats-backend",
+        choices=("json", "sqlite"),
+        default="sqlite",
+        help="backend for per-tenant stores under --stats-dir "
+        "(default sqlite)",
+    )
+    serve.add_argument(
+        "--search",
+        choices=("eager", "guided"),
+        default="guided",
+        help="plan search strategy served on cache misses (default guided)",
+    )
+    serve.add_argument(
+        "--top-k",
+        type=_positive_int,
+        default=1,
+        metavar="K",
+        help="default number of ranked plans per response (requests may "
+        "override)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help="server-wide cap on admitted requests; beyond it requests "
+        "are rejected with a 429-style error (default 64)",
+    )
+    serve.add_argument(
+        "--tenant-inflight",
+        type=_positive_int,
+        default=4,
+        metavar="N",
+        help="per-tenant in-flight request cap (default 4)",
+    )
+    serve.add_argument(
+        "--max-tenants",
+        type=_positive_int,
+        default=64,
+        metavar="N",
+        help="warm tenants kept resident; beyond it the least-recently-"
+        "used idle tenant's memos and store handle are evicted "
+        "(default 64)",
+    )
+    serve.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write the merged per-request span timeline to PATH at "
+        "shutdown (format sniffed like `repro experiment --trace`)",
+    )
+    serve.add_argument(
+        "--trace-format", choices=("jsonl", "chrome"), default=None
+    )
+    serve.add_argument(
+        "--trace-metrics",
+        default=None,
+        metavar="PATH",
+        help="also write a Prometheus-style metrics snapshot at shutdown "
+        "(requires --trace)",
+    )
+    serve.set_defaults(fn=cmd_serve)
+
+    plan = sub.add_parser(
+        "plan", help="request a plan from a running `repro serve`"
+    )
+    plan.add_argument("workload", choices=sorted(ALL_WORKLOADS))
+    plan.add_argument(
+        "--server",
+        default="127.0.0.1:7411",
+        metavar="HOST:PORT",
+        help="planning server address (default 127.0.0.1:7411)",
+    )
+    plan.add_argument("--tenant", default="default")
+    plan.add_argument("--mode", choices=("sca", "manual"), default=None)
+    plan.add_argument("--scale", type=float, default=None)
+    plan.add_argument("--top-k", type=_positive_int, default=None, metavar="K")
+    plan.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw JSON response instead of the summary",
+    )
+    plan.set_defaults(fn=cmd_plan)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe: not an
+        # error.  Detach stdout so interpreter shutdown does not raise
+        # again while flushing.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

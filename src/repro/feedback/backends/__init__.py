@@ -14,6 +14,7 @@ explicit name overrides the sniff.
 
 from __future__ import annotations
 
+import warnings
 from pathlib import Path
 
 from ...core.errors import FeedbackError
@@ -23,6 +24,12 @@ from .sqlite_backend import SqliteBackend
 
 #: Extensions that sniff as the sqlite backend.
 SQLITE_SUFFIXES = frozenset({".sqlite", ".sqlite3", ".db"})
+
+#: Extensions that sniff as the JSON backend *silently*; anything not
+#: listed here or in :data:`SQLITE_SUFFIXES` still opens as JSON but
+#: warns, so a typo like ``stats.sqlte`` cannot silently change the
+#: persistence format.
+JSON_SUFFIXES = frozenset({".json"})
 
 #: Names accepted as an explicit backend override.
 BACKEND_NAMES = ("json", "sqlite")
@@ -37,9 +44,21 @@ def open_backend(path: str | Path, name: str | None = None) -> StatsBackend:
     """Open (creating on first commit) the backend for ``path``.
 
     ``name`` forces ``"json"`` or ``"sqlite"`` regardless of extension;
-    ``None`` sniffs the extension via :func:`sniff_backend`.
+    ``None`` sniffs the extension via :func:`sniff_backend`.  Sniffing an
+    extension that names neither backend warns before defaulting to JSON
+    — a misspelled ``.sqlte`` must not silently change the persistence
+    format.
     """
     if name is None:
+        suffix = Path(path).suffix.lower()
+        if suffix not in SQLITE_SUFFIXES and suffix not in JSON_SUFFIXES:
+            warnings.warn(
+                f"statistics-store path {str(path)!r} has unknown extension "
+                f"{suffix!r}: defaulting to the JSON backend (use "
+                ".json/.sqlite/.sqlite3/.db, or force a backend explicitly "
+                "to silence this)",
+                stacklevel=2,
+            )
         name = sniff_backend(path)
     if name == "json":
         return JsonBackend(path)
@@ -55,6 +74,7 @@ __all__ = [
     "BACKEND_NAMES",
     "BackendConflict",
     "CommitDelta",
+    "JSON_SUFFIXES",
     "JsonBackend",
     "SQLITE_SUFFIXES",
     "SqliteBackend",

@@ -84,8 +84,18 @@ class SqliteBackend:
     def __init__(self, path: str | Path, busy_timeout: float = 30.0) -> None:
         self.path = Path(path)
         try:
+            # check_same_thread off: a store is single-owner but not
+            # thread-pinned — the planning server opens it on the event
+            # loop and syncs/ingests from executor threads, serialized
+            # by its per-tenant lock.  Concurrent *processes* are the
+            # supported concurrency model (WAL + per-commit IMMEDIATE
+            # transactions); concurrent threads on one handle stay the
+            # caller's responsibility, exactly as before.
             self._con = sqlite3.connect(
-                str(self.path), timeout=busy_timeout, isolation_level=None
+                str(self.path),
+                timeout=busy_timeout,
+                isolation_level=None,
+                check_same_thread=False,
             )
         except sqlite3.Error as exc:
             raise FeedbackError(

@@ -627,6 +627,20 @@ class StatisticsStore:
             store._reload()
         return store
 
+    def close(self) -> None:
+        """Release the backend's resources (idempotent).
+
+        Long-lived multi-tenant processes (the planning server) open one
+        backend per tenant; evicting a tenant must close its sqlite
+        connection instead of waiting for garbage collection.  Backends
+        without a ``close`` (JSON) and in-memory stores are no-ops.
+        """
+        backend = self.backend
+        if backend is not None:
+            closer = getattr(backend, "close", None)
+            if closer is not None:
+                closer()
+
     def migrate_to(
         self, path: str | Path, backend: str | None = None
     ) -> "StatisticsStore":

@@ -201,6 +201,34 @@ class Tracer:
     def gauge(self, name: str, value: float) -> None:
         self.metrics.set(name, value)
 
+    def absorb(self, other: "Tracer") -> None:
+        """Merge another tracer's finished spans and metrics into this one.
+
+        The serving layer traces each request on its own short-lived
+        tracer (so concurrent requests never interleave on one span
+        stack) and folds the result into a long-lived sink tracer
+        afterwards.  Span ids are re-based past this tracer's highest id,
+        parent links included, so exporters and ``repro trace summarize``
+        rebuild exact per-request nesting from the merged log.  ``other``
+        must be finished (no open spans) and is consumed: its span
+        objects are adopted, not copied.
+        """
+        if other.spans:
+            base = self._next_id
+            top = 0
+            for span in other.spans:
+                span.span_id += base
+                if span.parent_id is not None:
+                    span.parent_id += base
+                if span.span_id > top:
+                    top = span.span_id
+            self.spans.extend(other.spans)
+            self._next_id = top
+        for name, value in other.metrics.counters.items():
+            self.metrics.inc(name, value)
+        for name, value in other.metrics.gauges.items():
+            self.metrics.set(name, value)
+
 
 class _NoopSpan:
     """Shared inert span: enter/exit/set all do nothing."""
@@ -237,6 +265,9 @@ class NoopTracer:
 
     def add_span(self, *args, **kwargs) -> None:
         return None
+
+    def absorb(self, other) -> None:
+        pass
 
     def count(self, name: str, value: float = 1) -> None:
         pass

@@ -137,6 +137,16 @@ class Memo:
     def __len__(self) -> int:
         return len(self.table)
 
+    def size(self) -> int:
+        """Total live derived-state entries (options, estimates, bounds).
+
+        The planning server's memory accounting: closures/neighbors/
+        samples are shared, hint-independent structure and comparatively
+        small, so the three invalidatable tables are the figure that
+        tracks a tenant's warm-state footprint.
+        """
+        return len(self.table) + len(self.est_cache) + len(self.bounds)
+
     def __iter__(self) -> Iterator[Node]:
         return iter(self.table)
 

@@ -392,6 +392,7 @@ class _Analyzer:
         for site in emitted_sites:
             if site.dynamic_write:
                 dynamic = True
+                self._degrade_copies_to_reads(site.set_kinds.values())
                 continue
             site_projected: set[int] = set()
             for pos, kinds in site.set_kinds.items():
@@ -404,6 +405,11 @@ class _Analyzer:
                         site_projected.add(pos)
                     copies.add((pos, pure_copy[0], pure_copy[1]))
                     continue
+                # Mixed write kinds: the copy-through modeling no longer
+                # applies to this position, but any copy among them still
+                # makes the output depend on its source field — degrade
+                # those sources to plain reads.
+                self._degrade_copies_to_reads([kinds])
                 if kinds == {"project"}:
                     site_projected.add(pos)
                     continue
@@ -449,6 +455,20 @@ class _Analyzer:
             kat_behavior=kat,
             origin="sca",
         )
+
+    def _degrade_copies_to_reads(self, kind_sets) -> None:
+        """Record the source fields of copy writes as plain reads.
+
+        A ``('copy', i, p)`` write is exempt from the read set only while
+        the position is a *pure* copy (the flow is modeled by ``copies``
+        at bind time).  Once that modeling is off the table — the position
+        also sees modify/project writes, or the site has a dynamic write —
+        the copied value is still field-dependent and must count as read.
+        """
+        for kinds in kind_sets:
+            for kind in kinds:
+                if isinstance(kind, tuple) and kind[0] == "copy":
+                    self.state.reads.add((kind[1], kind[2]))
 
     @staticmethod
     def _pure_copy(kinds: set) -> tuple[int, int] | None:

@@ -1,0 +1,40 @@
+"""Optimizer-as-a-service: the long-lived multi-tenant planning server.
+
+``repro serve`` keeps the expensive planning state hot — interned plans,
+per-tenant warm memos, learned statistics, a fingerprint-keyed plan
+cache — and serves plan requests over a tiny newline-delimited JSON
+protocol.  See :mod:`repro.serve.server` for the state-ownership and
+invalidation story, :mod:`repro.serve.protocol` for the wire format, and
+:mod:`repro.serve.client` for the blocking client used by ``repro plan``
+and the serve benchmark.
+"""
+
+from .client import PlanningClient, ServeError, SpawnedServer, spawn_server
+from .protocol import (
+    ADMISSION_REJECTED,
+    BAD_REQUEST,
+    INTERNAL_ERROR,
+    STORE_CONFLICT,
+    UNKNOWN_WORKLOAD,
+    PlanRequest,
+    ProtocolError,
+)
+from .server import PlanningServer, ServerConfig, TenantState, view_fingerprint
+
+__all__ = [
+    "ADMISSION_REJECTED",
+    "BAD_REQUEST",
+    "INTERNAL_ERROR",
+    "PlanRequest",
+    "PlanningClient",
+    "PlanningServer",
+    "ProtocolError",
+    "STORE_CONFLICT",
+    "ServeError",
+    "ServerConfig",
+    "SpawnedServer",
+    "TenantState",
+    "UNKNOWN_WORKLOAD",
+    "spawn_server",
+    "view_fingerprint",
+]

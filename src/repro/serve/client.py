@@ -1,0 +1,168 @@
+"""Blocking client for the planning server, plus a subprocess launcher.
+
+:class:`PlanningClient` speaks the newline-delimited JSON protocol over
+one TCP connection (requests pipeline fine, but the client is
+synchronous: one outstanding request per client).  Benchmarks and tests
+that want a real out-of-process server use :func:`spawn_server`, which
+launches ``python -m repro serve``, reads the bound port off its stdout,
+and hands back a managed handle.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import subprocess
+import sys
+from pathlib import Path
+
+from .protocol import decode_message, encode_message
+
+
+class ServeError(RuntimeError):
+    """A structured error response from the server (carries the code)."""
+
+    def __init__(self, code: int, message: str) -> None:
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class PlanningClient:
+    """One connection to a running :class:`~.server.PlanningServer`."""
+
+    def __init__(
+        self, host: str, port: int, timeout: float | None = 30.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("rb")
+
+    def close(self) -> None:
+        self._reader.close()
+        self._sock.close()
+
+    def __enter__(self) -> "PlanningClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def request(self, payload: dict) -> dict:
+        """Send one raw request; raise :class:`ServeError` on ok=False."""
+        self._sock.sendall(encode_message(payload))
+        line = self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        response = decode_message(line)
+        if not response.get("ok", False):
+            raise ServeError(
+                response.get("code", 500), response.get("error", "unknown")
+            )
+        return response
+
+    def plan(
+        self,
+        workload: str,
+        tenant: str = "default",
+        mode: str | None = None,
+        scale: float | None = None,
+        top_k: int | None = None,
+    ) -> dict:
+        payload: dict = {"op": "plan", "tenant": tenant, "workload": workload}
+        if mode is not None:
+            payload["mode"] = mode
+        if scale is not None:
+            payload["scale"] = scale
+        if top_k is not None:
+            payload["top_k"] = top_k
+        return self.request(payload)
+
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def metrics(self) -> dict:
+        return self.request({"op": "metrics"})
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+
+class SpawnedServer:
+    """A ``repro serve`` subprocess with its bound address read back."""
+
+    def __init__(
+        self, process: subprocess.Popen, host: str, port: int
+    ) -> None:
+        self.process = process
+        self.host = host
+        self.port = port
+
+    def connect(self, timeout: float | None = 30.0) -> PlanningClient:
+        return PlanningClient(self.host, self.port, timeout=timeout)
+
+    def stop(self, timeout: float = 10.0) -> int:
+        """Orderly shutdown (protocol op, then wait); returns exit code."""
+        if self.process.poll() is None:
+            try:
+                with self.connect(timeout=timeout) as client:
+                    client.shutdown()
+            except (OSError, ServeError):
+                self.process.terminate()
+            try:
+                self.process.wait(timeout=timeout)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=timeout)
+        if self.process.stdout is not None:
+            self.process.stdout.close()
+        return self.process.returncode
+
+    def __enter__(self) -> "SpawnedServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()
+
+
+def spawn_server(
+    args: list[str] | None = None, timeout: float = 60.0
+) -> SpawnedServer:
+    """Launch ``python -m repro serve --port 0 <args>`` and await its port.
+
+    The server prints ``serving on HOST:PORT`` once bound (after the
+    optional metrics line); stderr is folded into stdout so a crash
+    during startup surfaces in the raised error instead of hanging.
+    """
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--port",
+        "0",
+        *(args or []),
+    ]
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env={**os.environ, "PYTHONPATH": src_root},
+    )
+    lines: list[str] = []
+    while True:
+        line = process.stdout.readline()
+        if not line:
+            process.wait(timeout=timeout)
+            raise RuntimeError(
+                "server exited before binding:\n" + "".join(lines)
+            )
+        lines.append(line)
+        if line.startswith("serving on "):
+            address = line.split("serving on ", 1)[1].strip()
+            host, _, port = address.rpartition(":")
+            return SpawnedServer(process, host, int(port))

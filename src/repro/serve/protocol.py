@@ -1,0 +1,120 @@
+"""Wire protocol of the planning server: newline-delimited JSON.
+
+One request per line, one response line per request, any number of
+requests per connection.  The protocol is deliberately tiny — a plan
+request names a *workload* (server-side catalogs, data fingerprints, and
+plan construction stay where the statistics live) plus the tenant whose
+learned statistics should shape the plan:
+
+``{"op": "plan", "tenant": "acme", "workload": "tpch_q7", ...}``
+    → ``{"ok": true, "cache": "hit"|"miss", "cost": ..., "plan": [...],
+    "physical": "...", "fingerprint": "...", ...}``
+
+``{"op": "metrics"}``
+    → the server's Prometheus text plus raw counters/gauges.
+
+``{"op": "ping"}`` / ``{"op": "shutdown"}``
+    → liveness / orderly shutdown.
+
+Errors are structured, never connection drops: ``{"ok": false, "code":
+C, "error": "..."}`` with HTTP-flavored codes (400 malformed request,
+404 unknown workload, 409 incompatible statistics store, 429 admission
+rejected, 500 internal).  Floats
+round-trip exactly through JSON (``repr``-based), which is what lets the
+client-side cost match a direct :meth:`Optimizer.optimize` bit for bit.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+
+#: Structured error codes (HTTP-flavored, carried in the response body).
+BAD_REQUEST = 400
+UNKNOWN_WORKLOAD = 404
+STORE_CONFLICT = 409
+ADMISSION_REJECTED = 429
+INTERNAL_ERROR = 500
+
+#: Tenant names become store filenames and metric labels: keep them to a
+#: filesystem- and Prometheus-safe alphabet.
+_TENANT_RE = re.compile(r"^[A-Za-z0-9._-]{1,64}$")
+
+_MODES = ("sca", "manual")
+
+
+class ProtocolError(ValueError):
+    """A malformed message (bad JSON, bad fields, unknown op)."""
+
+
+@dataclass(frozen=True, slots=True)
+class PlanRequest:
+    """One validated plan request."""
+
+    tenant: str
+    workload: str
+    mode: str = "sca"
+    scale: float = 1.0
+    top_k: int = 1
+
+    def params(self) -> tuple:
+        """The request's planning parameters, fingerprint excluded.
+
+        This is the hot-signature identity the server tracks hit counts
+        (and background re-optimization) under: everything that shapes
+        the plan except the tenant statistics fingerprint.
+        """
+        return (self.workload, self.mode, self.scale, self.top_k)
+
+
+def parse_plan_request(
+    payload: dict, default_top_k: int = 1, default_mode: str = "sca"
+) -> PlanRequest:
+    """Validate a decoded ``plan`` payload into a :class:`PlanRequest`."""
+    tenant = payload.get("tenant", "default")
+    if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
+        raise ProtocolError(
+            f"tenant must match {_TENANT_RE.pattern}, got {tenant!r}"
+        )
+    workload = payload.get("workload")
+    if not isinstance(workload, str) or not workload:
+        raise ProtocolError("plan request needs a 'workload' string")
+    mode = payload.get("mode", default_mode)
+    if mode not in _MODES:
+        raise ProtocolError(f"mode must be one of {_MODES}, got {mode!r}")
+    scale = payload.get("scale", 1.0)
+    if not isinstance(scale, (int, float)) or isinstance(scale, bool) or scale <= 0:
+        raise ProtocolError(f"scale must be a positive number, got {scale!r}")
+    top_k = payload.get("top_k", default_top_k)
+    if not isinstance(top_k, int) or isinstance(top_k, bool) or top_k < 1:
+        raise ProtocolError(f"top_k must be an integer >= 1, got {top_k!r}")
+    return PlanRequest(
+        tenant=tenant,
+        workload=workload,
+        mode=mode,
+        scale=float(scale),
+        top_k=top_k,
+    )
+
+
+def encode_message(payload: dict) -> bytes:
+    """One message as a newline-terminated JSON line."""
+    return (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+
+
+def decode_message(line: bytes | str) -> dict:
+    """Parse one received line; raises :class:`ProtocolError` loudly."""
+    try:
+        payload = json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"message is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"message must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+def error_response(code: int, message: str) -> dict:
+    return {"ok": False, "code": code, "error": message}

@@ -190,3 +190,53 @@ def test_stats_migrate_reports_unreadable_source(capsys, tmp_path):
 def test_unknown_workload_rejected():
     with pytest.raises(SystemExit):
         main(["analyze", "nope"])
+
+
+def test_experiment_warns_on_unknown_store_extension(capsys, tmp_path):
+    """A typo'd extension must not *silently* fall back to JSON: the
+    sniff warns (naming the path and the fallback) and still works."""
+    store = tmp_path / "stats.sqlte"  # the classic typo
+    with pytest.warns(UserWarning, match="unknown extension '.sqlte'"):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "tpch_q15",
+                    "--picks",
+                    "3",
+                    "--feedback-rounds",
+                    "1",
+                    "--stats-store",
+                    str(store),
+                ]
+            )
+            == 0
+        )
+    capsys.readouterr()
+    # The documented fallback still happened: a JSON store was written.
+    assert store.read_text().lstrip().startswith("{")
+
+
+def test_experiment_known_store_extensions_do_not_warn(
+    capsys, tmp_path, recwarn
+):
+    for name in ("stats.json", "stats.sqlite"):
+        assert (
+            main(
+                [
+                    "experiment",
+                    "tpch_q15",
+                    "--picks",
+                    "3",
+                    "--feedback-rounds",
+                    "1",
+                    "--stats-store",
+                    str(tmp_path / name),
+                ]
+            )
+            == 0
+        )
+    capsys.readouterr()
+    assert not [
+        w for w in recwarn if "unknown extension" in str(w.message)
+    ]

@@ -1,0 +1,100 @@
+"""End-to-end CLI coverage for `repro serve` / `repro plan`.
+
+One real server subprocess (spawned exactly as an operator would start
+it), driven by the `plan` subcommand over TCP — the full wire path the
+quickstart documents.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serve import spawn_server
+
+
+@pytest.fixture(scope="module")
+def server():
+    with spawn_server() as spawned:
+        yield spawned
+
+
+def test_plan_against_live_server(server, capsys):
+    address = f"127.0.0.1:{server.port}"
+    assert (
+        main(["plan", "tpch_q15", "--server", address, "--tenant", "cli"])
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "tpch_q15 (tenant cli, miss" in out
+    assert "cost " in out and "#1: cost" in out
+    assert "planned in" in out and "served in" in out
+
+    # Second request: the server's plan cache answers.
+    assert main(["plan", "tpch_q15", "--server", address, "--tenant", "cli"]) == 0
+    assert "tpch_q15 (tenant cli, hit" in capsys.readouterr().out
+
+
+def test_plan_json_output_round_trips(server, capsys):
+    address = f"127.0.0.1:{server.port}"
+    assert (
+        main(
+            [
+                "plan",
+                "clickstream",
+                "--server",
+                address,
+                "--tenant",
+                "cli",
+                "--top-k",
+                "2",
+                "--json",
+            ]
+        )
+        == 0
+    )
+    response = json.loads(capsys.readouterr().out)
+    assert response["ok"] is True
+    assert response["workload"] == "clickstream"
+    assert len(response["ranked"]) == 2
+    assert response["plan"][0]  # linearized operator order present
+
+
+def test_plan_rejects_malformed_server_address(capsys):
+    assert main(["plan", "tpch_q7", "--server", "nowhere"]) == 2
+    assert "HOST:PORT" in capsys.readouterr().err
+
+
+def test_plan_reports_unreachable_server(capsys):
+    assert main(["plan", "tpch_q7", "--server", "127.0.0.1:1"]) == 1
+    assert "cannot reach" in capsys.readouterr().err
+
+
+def test_serve_writes_trace_and_metrics_on_shutdown(tmp_path):
+    trace_path = tmp_path / "serve_trace.jsonl"
+    metrics_path = tmp_path / "serve_metrics.prom"
+    with spawn_server(
+        [
+            "--trace",
+            str(trace_path),
+            "--trace-metrics",
+            str(metrics_path),
+        ]
+    ) as spawned:
+        with spawned.connect() as client:
+            client.plan("tpch_q15", tenant="traced")
+            client.plan("tpch_q15", tenant="traced")
+    assert spawned.process.returncode == 0
+    spans = [
+        json.loads(line)
+        for line in trace_path.read_text().splitlines()
+        if line.strip()
+    ]
+    request_spans = [s for s in spans if s.get("name") == "serve.request"]
+    assert len(request_spans) == 2
+    assert {s["args"]["cache"] for s in request_spans} == {"miss", "hit"}
+    prom = metrics_path.read_text()
+    assert "repro_serve_requests_total 2" in prom
+    assert "repro_serve_cache_hits_total 1" in prom

@@ -1,0 +1,94 @@
+"""The bench-trend gate's own contract, pinned.
+
+The gate script lives outside the package (``benchmarks/``), so it loads
+here by path.  The critical pin: a committed baseline whose bench never
+produced a result must FAIL the default (no-args) gate — a bench that
+silently stops running is a regression escape hatch, not a skip.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def load_compare_trend(name: str):
+    spec = importlib.util.spec_from_file_location(
+        name, REPO_ROOT / "benchmarks" / "compare_trend.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    # Dataclass creation inside the module resolves its own module
+    # object through sys.modules: register before exec.
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture()
+def trend(monkeypatch, tmp_path):
+    """The compare_trend module, repointed at throwaway dirs."""
+    module = load_compare_trend("compare_trend_under_test")
+    results = tmp_path / "results"
+    baselines = tmp_path / "baselines"
+    results.mkdir()
+    baselines.mkdir()
+    monkeypatch.setattr(module, "RESULTS_DIR", results)
+    monkeypatch.setattr(module, "BASELINES_DIR", baselines)
+    return module
+
+
+def _write(directory: Path, name: str, value: float) -> Path:
+    path = directory / name
+    path.write_text(json.dumps({"warm_speedup_p50": value}))
+    return path
+
+
+def test_gate_passes_on_matching_result(trend, capsys):
+    _write(trend.BASELINES_DIR, "serve.json", 7.0)
+    _write(trend.RESULTS_DIR, "serve.json", 7.0)
+    assert trend.main([]) == 0
+    assert "serve.json" in capsys.readouterr().out
+
+
+def test_gate_fails_on_regression_beyond_tolerance(trend, capsys):
+    _write(trend.BASELINES_DIR, "serve.json", 10.0)
+    _write(trend.RESULTS_DIR, "serve.json", 6.0)  # -40% < -30% tolerance
+    assert trend.main([]) == 1
+    assert "REGRESSED" in capsys.readouterr().out
+
+
+def test_tolerated_dip_passes(trend):
+    _write(trend.BASELINES_DIR, "serve.json", 10.0)
+    _write(trend.RESULTS_DIR, "serve.json", 8.0)  # -20% within tolerance
+    assert trend.main([]) == 0
+
+
+def test_baseline_without_result_fails_instead_of_silently_skipping(
+    trend, capsys
+):
+    """The silent-skip bug: a bench with a committed baseline that never
+    wrote its result used to vanish from the default gate set."""
+    _write(trend.BASELINES_DIR, "serve.json", 7.0)
+    assert trend.main([]) == 1
+    assert "did the bench run?" in capsys.readouterr().err
+
+
+def test_explicitly_named_missing_result_still_fails(trend, capsys):
+    _write(trend.BASELINES_DIR, "serve.json", 7.0)
+    missing = trend.RESULTS_DIR / "serve.json"
+    assert trend.main([str(missing)]) == 1
+    assert "did the bench run?" in capsys.readouterr().err
+
+
+def test_every_committed_baseline_is_registered():
+    """Each committed baseline must have a headline (and vice versa the
+    gate default set covers it) — an orphan baseline gates nothing."""
+    module = load_compare_trend("compare_trend_real")
+    committed = {p.name for p in module.BASELINES_DIR.glob("*.json")}
+    assert committed == set(module.HEADLINES)

@@ -110,6 +110,45 @@ class TestReadUsage:
         )
         assert (1, 0, 0) in props.copies
 
+    def test_mixed_copy_and_modify_degrades_copy_source_to_read(self):
+        # Hypothesis-found soundness hole: a constant write followed by a
+        # copy write to the same position left the output depending on
+        # the copy's source field with neither a `copies` entry nor a
+        # read — the copy-through exemption only holds for pure copies.
+        props = analyze(
+            """
+            f($ir):
+                $a := getField($ir, 1)
+                $or := copy($ir)
+                setField($or, 0, 0)
+                setField($or, 0, $a)
+                emit($or)
+                return
+            """
+        )
+        assert (0, 1) in props.reads.finite_items()
+        assert not props.copies
+        assert 0 in props.writes_modified.finite_items()
+
+    def test_dynamic_write_site_degrades_static_copy_to_read(self):
+        # Same exemption failure on the dynamic-write path: the site skips
+        # per-position accounting entirely, so its static copy writes must
+        # fall back to plain reads of their sources.
+        props = analyze(
+            """
+            f($ir):
+                $a := getField($ir, 1)
+                $i := getField($ir, 0)
+                $or := copy($ir)
+                setField($or, 2, $a)
+                setField($or, $i, 7)
+                emit($or)
+                return
+            """
+        )
+        assert (0, 1) in props.reads.finite_items()
+        assert not props.copies
+
     def test_taint_through_assignment_and_call(self):
         props = analyze(
             """

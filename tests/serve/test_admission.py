@@ -1,0 +1,120 @@
+"""Admission control: bounded queue + per-tenant caps reject with 429."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.serve import ADMISSION_REJECTED, ServeError, ServerConfig
+
+
+class BlockingPlanner:
+    """Monkeypatch stand-in for ``_plan_cold`` that parks until released.
+
+    Planning runs in worker threads, so parking it holds the request —
+    and its admission slot — open for as long as the test wants.
+    """
+
+    def __init__(self) -> None:
+        self.started = threading.Semaphore(0)
+        self.release = threading.Event()
+
+    def __call__(self, tenant, req, tracer) -> dict:
+        self.started.release()
+        assert self.release.wait(timeout=30), "planner never released"
+        return {"ok": True, "workload": req.workload, "cost": 1.0}
+
+    def install(self, monkeypatch, server) -> None:
+        monkeypatch.setattr(server.server, "_plan_cold", self)
+
+
+def _plan_async(server, tenant: str, workload: str = "tpch_q7"):
+    """Fire one plan request on its own connection + thread."""
+    box: dict = {}
+
+    def work():
+        try:
+            with server.connect() as client:
+                box["response"] = client.plan(workload, tenant=tenant)
+        except ServeError as exc:
+            box["error"] = exc
+
+    thread = threading.Thread(target=work, daemon=True)
+    thread.start()
+    return thread, box
+
+
+def test_tenant_inflight_cap_rejects(make_server, monkeypatch):
+    server = make_server(
+        ServerConfig(reopt_interval=0, tenant_inflight=1, max_queue=16)
+    )
+    planner = BlockingPlanner()
+    planner.install(monkeypatch, server)
+
+    thread, first = _plan_async(server, "capped")
+    assert planner.started.acquire(timeout=30)
+    # Same tenant while one request is in flight: structured rejection,
+    # not queueing — the client sees the 429-style error immediately.
+    with server.connect() as client:
+        with pytest.raises(ServeError) as rejected:
+            client.plan("tpch_q7", tenant="capped")
+        assert rejected.value.code == ADMISSION_REJECTED
+        assert "in-flight" in str(rejected.value)
+        # A different tenant is unaffected by this tenant's cap.
+        other_thread, other = _plan_async(server, "other")
+        assert planner.started.acquire(timeout=30)
+        planner.release.set()
+        thread.join(timeout=30)
+        other_thread.join(timeout=30)
+        assert first["response"]["cost"] == 1.0
+        assert other["response"]["cost"] == 1.0
+        counters = client.metrics()["counters"]
+    assert counters["serve.rejected"] == 1
+    assert counters["serve.rejected_tenant"] == 1
+
+
+def test_global_queue_cap_rejects(make_server, monkeypatch):
+    server = make_server(
+        ServerConfig(reopt_interval=0, tenant_inflight=8, max_queue=2)
+    )
+    planner = BlockingPlanner()
+    planner.install(monkeypatch, server)
+
+    threads = []
+    for tenant in ("a", "b"):
+        threads.append(_plan_async(server, tenant)[0])
+        assert planner.started.acquire(timeout=30)
+    # Two admitted requests fill the queue; a third tenant bounces.
+    with server.connect() as client:
+        with pytest.raises(ServeError) as rejected:
+            client.plan("tpch_q7", tenant="c")
+        assert rejected.value.code == ADMISSION_REJECTED
+        assert "queue" in str(rejected.value)
+        planner.release.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        counters = client.metrics()["counters"]
+    assert counters["serve.rejected_queue"] == 1
+    # Capacity freed: the same request is admitted now.
+    with server.connect() as client:
+        assert client.plan("tpch_q7", tenant="c")["cost"] == 1.0
+
+
+def test_rejection_does_not_consume_capacity(make_server, monkeypatch):
+    """Rejected requests release their (never-taken) admission slot."""
+    server = make_server(
+        ServerConfig(reopt_interval=0, tenant_inflight=1, max_queue=4)
+    )
+    planner = BlockingPlanner()
+    planner.install(monkeypatch, server)
+    thread, _ = _plan_async(server, "t")
+    assert planner.started.acquire(timeout=30)
+    with server.connect() as client:
+        for _ in range(3):
+            with pytest.raises(ServeError):
+                client.plan("tpch_q7", tenant="t")
+        planner.release.set()
+        thread.join(timeout=30)
+        # All slots are free again: a fresh request plans normally.
+        assert client.plan("tpch_q7", tenant="t")["cost"] == 1.0

@@ -1,0 +1,82 @@
+"""Tenant LRU eviction: the server's memory-pressure valve.
+
+``max_tenants`` bounds warm state; beyond it the least-recently-used
+*idle* tenant loses its memos, store handle, and owned cache entries.
+Tenants here use distinct workloads so a survivor's cache entry can
+never mask an evicted tenant's loss (empty stores share a fingerprint).
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve import ServerConfig
+
+
+def _tenant_names(server):
+    return server.call(lambda: list(server.server._tenants))
+
+
+def test_lru_tenant_is_evicted_beyond_cap(make_server):
+    server = make_server(ServerConfig(reopt_interval=0, max_tenants=2))
+    with server.connect() as client:
+        client.plan("tpch_q7", tenant="a")
+        client.plan("clickstream", tenant="b")
+        assert _tenant_names(server) == ["a", "b"]
+        # Third tenant: "a" is LRU and idle -> evicted.
+        client.plan("textmining", tenant="c")
+        assert _tenant_names(server) == ["b", "c"]
+        counters = client.metrics()["counters"]
+        assert counters["serve.tenant_evictions"] == 1
+        # The evicted tenant's cache entries went with it: returning
+        # re-plans from scratch (and evicts "b", now the LRU).
+        response = client.plan("tpch_q7", tenant="a")
+        assert response["cache"] == "miss"
+        assert _tenant_names(server) == ["c", "a"]
+
+
+def test_recent_use_refreshes_lru_order(make_server):
+    server = make_server(ServerConfig(reopt_interval=0, max_tenants=2))
+    with server.connect() as client:
+        client.plan("tpch_q7", tenant="a")
+        client.plan("clickstream", tenant="b")
+        client.plan("tpch_q7", tenant="a")  # refresh "a"
+        client.plan("textmining", tenant="c")
+    assert _tenant_names(server) == ["a", "c"]
+
+
+def test_inflight_tenant_is_not_evicted(make_server, monkeypatch):
+    server = make_server(ServerConfig(reopt_interval=0, max_tenants=1))
+    real = server.server._plan_cold
+    started = threading.Semaphore(0)
+    release = threading.Event()
+
+    def parked(tenant, req, tracer):
+        if tenant.name == "busy":
+            started.release()
+            assert release.wait(timeout=30)
+        return real(tenant, req, tracer)
+
+    monkeypatch.setattr(server.server, "_plan_cold", parked)
+
+    box: dict = {}
+
+    def work():
+        with server.connect() as client:
+            box["response"] = client.plan("tpch_q7", tenant="busy")
+
+    thread = threading.Thread(target=work, daemon=True)
+    thread.start()
+    assert started.acquire(timeout=30)
+    # A second tenant arrives while "busy" is mid-plan.  The cap (1) is
+    # exceeded, but an in-flight tenant must not lose its store/memos
+    # under it — the server admits over the cap instead.
+    with server.connect() as client:
+        client.plan("clickstream", tenant="other")
+        assert set(_tenant_names(server)) == {"busy", "other"}
+        release.set()
+        thread.join(timeout=30)
+        assert box["response"]["cache"] == "miss"
+        # Next tenant arrival while everyone is idle shrinks us back.
+        client.plan("textmining", tenant="third")
+        assert len(_tenant_names(server)) <= 2

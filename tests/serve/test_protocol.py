@@ -1,0 +1,90 @@
+"""Wire-protocol unit tests: codec round trips and request validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import PlanRequest, ProtocolError
+from repro.serve.protocol import (
+    decode_message,
+    encode_message,
+    error_response,
+    parse_plan_request,
+)
+
+
+def test_encode_decode_round_trip():
+    payload = {"op": "plan", "workload": "tpch_q7", "scale": 2.5}
+    line = encode_message(payload)
+    assert line.endswith(b"\n")
+    assert b"\n" not in line[:-1]
+    assert decode_message(line) == payload
+
+
+def test_float_round_trip_is_exact():
+    # Bit-exact float transport is what makes server-side costs
+    # comparable to a direct Optimizer.optimize call.
+    cost = 321.64217285727153
+    assert decode_message(encode_message({"cost": cost}))["cost"] == cost
+
+
+@pytest.mark.parametrize(
+    "line", [b"not json\n", b"[1, 2]\n", b'"just a string"\n', b"\xff\xfe\n"]
+)
+def test_decode_rejects_non_object(line):
+    with pytest.raises(ProtocolError):
+        decode_message(line)
+
+
+def test_parse_plan_request_defaults():
+    req = parse_plan_request({"workload": "tpch_q7"})
+    assert req == PlanRequest(
+        tenant="default", workload="tpch_q7", mode="sca", scale=1.0, top_k=1
+    )
+    assert req.params() == ("tpch_q7", "sca", 1.0, 1)
+
+
+def test_parse_plan_request_full():
+    req = parse_plan_request(
+        {
+            "workload": "clickstream",
+            "tenant": "acme-prod.v2",
+            "mode": "manual",
+            "scale": 4,
+            "top_k": 3,
+        }
+    )
+    assert req.tenant == "acme-prod.v2"
+    assert req.mode == "manual"
+    assert req.scale == 4.0 and isinstance(req.scale, float)
+    assert req.top_k == 3
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        {},  # no workload
+        {"workload": ""},
+        {"workload": 7},
+        {"workload": "q", "tenant": "has space"},
+        {"workload": "q", "tenant": "a/b"},  # path separator
+        {"workload": "q", "tenant": "x" * 65},
+        {"workload": "q", "tenant": ""},
+        {"workload": "q", "mode": "auto"},
+        {"workload": "q", "scale": 0},
+        {"workload": "q", "scale": -1.0},
+        {"workload": "q", "scale": "big"},
+        {"workload": "q", "scale": True},
+        {"workload": "q", "top_k": 0},
+        {"workload": "q", "top_k": 1.5},
+        {"workload": "q", "top_k": True},
+    ],
+)
+def test_parse_plan_request_rejects(payload):
+    with pytest.raises(ProtocolError):
+        parse_plan_request(payload)
+
+
+def test_error_response_shape():
+    response = error_response(429, "full")
+    assert response == {"ok": False, "code": 429, "error": "full"}
